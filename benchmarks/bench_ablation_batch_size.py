@@ -1,0 +1,95 @@
+"""Ablation — the NAPI batch-size tradeoff (paper §II-A1 / §III-B).
+
+The paper's design discussion: large batches amortize per-stage fixed
+costs (throughput) but stall packets across stages (latency); batch size
+1 is the latency-optimal, throughput-pessimal extreme — PRISM-sync is
+"equivalent to a packet processing system with the batch size being one"
+(§V-B1).  This ablation sweeps ``napi_weight`` on the vanilla kernel and
+checks both halves of the tradeoff.
+"""
+
+from conftest import attach_info
+
+from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.report import ReproRow, format_experiment_header, format_table
+from repro.kernel.config import KernelConfig
+from repro.prism.mode import StackMode
+from repro.sim.units import MS
+
+WEIGHTS = (1, 8, 64)
+
+
+def _capacity(weight):
+    result = run_experiment(ExperimentConfig(
+        mode=StackMode.VANILLA, fg_kind="flood", fg_rate_pps=500_000,
+        duration_ns=100 * MS, warmup_ns=20 * MS,
+        kernel_config=KernelConfig(napi_weight=weight)))
+    return result.fg_delivered_pps
+
+
+def _kernel_latency(weight):
+    """In-kernel per-packet time of a paced stream at a given weight.
+
+    This isolates the §II-A1 effect: "the first packet completed in a
+    batch must wait for the remaining packets to be processed before its
+    processing on the next stage can begin" — so smaller batches lower
+    the per-packet in-kernel time at a common sustainable load.
+    """
+    from repro.apps.sockperf import SockperfUdpFlood, SockperfUdpServer
+    from repro.bench.testbed import build_testbed
+    from repro.metrics.stats import summarize_ns
+    from repro.trace.latency import KernelLatencyProbe
+    from repro.trace.tracer import Tracer
+
+    tracer = Tracer()
+    testbed = build_testbed(
+        mode=StackMode.VANILLA, tracer=tracer,
+        config=KernelConfig(napi_weight=weight))
+    server_cont = testbed.add_server_container("srv", "10.0.0.10")
+    client_cont = testbed.add_client_container("cli", "10.0.0.100")
+    SockperfUdpServer(server_cont, 5000, core_id=1, reply=False)
+    SockperfUdpFlood(testbed.sim, testbed.client, testbed.overlay,
+                     client_cont, "10.0.0.10", 5000,
+                     rate_pps=200_000, src_port=30001, burst=1)
+    testbed.sim.run(until=30 * MS)
+    probe = KernelLatencyProbe(tracer, lambda: testbed.sim.now)
+    testbed.sim.run(until=80 * MS)
+    return summarize_ns(probe.samples_ns)
+
+
+LATENCY_WEIGHTS = (4, 16, 64)
+
+
+def _run_all():
+    return ({w: _capacity(w) for w in WEIGHTS},
+            {w: _kernel_latency(w) for w in LATENCY_WEIGHTS})
+
+
+def test_ablation_napi_batch_size(benchmark, print_table):
+    capacity, latency = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = [
+        ReproRow("throughput grows with batch size",
+                 "cap(1) < cap(64)",
+                 f"{capacity[1] / 1000:.0f} < {capacity[64] / 1000:.0f} Kpps",
+                 capacity[1] < capacity[64]),
+        ReproRow("smaller batches lower per-packet kernel time",
+                 "avg(4) < avg(64)",
+                 f"{latency[4].avg_us:.1f} < {latency[64].avg_us:.1f} us",
+                 latency[4].avg_ns < latency[64].avg_ns),
+        ReproRow("intermediate batch is intermediate",
+                 "cap(8) between",
+                 f"{capacity[8] / 1000:.0f} Kpps",
+                 capacity[1] <= capacity[8] <= capacity[64] * 1.02),
+    ]
+    table = format_table(rows)
+    detail = "\n".join(
+        f"weight={w:>3}  capacity={capacity.get(w, 0) / 1000:>4.0f} Kpps"
+        for w in WEIGHTS) + "\n" + "\n".join(
+        f"weight={w:>3}  stream kernel avg={latency[w].avg_us:>6.1f}us "
+        f"p99={latency[w].p99_us:>6.1f}us"
+        for w in LATENCY_WEIGHTS)
+    print_table(format_experiment_header(
+        "Ablation", "NAPI batch size: latency/throughput tradeoff"),
+        table + "\n" + detail)
+    attach_info(benchmark, rows)
+    assert all(row.holds for row in rows)

@@ -1,0 +1,54 @@
+"""Fig. 3 — Latency distribution with and without background traffic.
+
+Paper: for container overlay flows under the vanilla kernel, a loaded
+server increases the median per-packet latency by about 400% and the
+99th-percentile latency by about 450% compared to an idle server.
+"""
+
+from conftest import attach_info, pct_change
+
+from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.report import ReproRow, format_experiment_header, format_table
+from repro.metrics.cdf import Cdf
+from repro.prism.mode import StackMode
+from repro.sim.units import MS
+
+DURATION = 250 * MS
+WARMUP = 50 * MS
+
+
+def _run_pair():
+    idle = run_experiment(ExperimentConfig(
+        mode=StackMode.VANILLA, fg_rate_pps=1_000, bg_rate_pps=0,
+        duration_ns=DURATION, warmup_ns=WARMUP))
+    busy = run_experiment(ExperimentConfig(
+        mode=StackMode.VANILLA, fg_rate_pps=1_000, bg_rate_pps=300_000,
+        duration_ns=DURATION, warmup_ns=WARMUP))
+    return idle, busy
+
+
+def test_fig3_background_traffic_inflates_latency(benchmark, print_table):
+    idle, busy = benchmark.pedantic(_run_pair, rounds=1, iterations=1)
+    median_up = pct_change(busy.fg_latency.p50_ns, idle.fg_latency.p50_ns)
+    tail_up = pct_change(busy.fg_latency.p99_ns, idle.fg_latency.p99_ns)
+    rows = [
+        ReproRow("busy/idle median increase", "+400%",
+                 f"{median_up:+.0f}%", median_up > 100),
+        ReproRow("busy/idle p99 increase", "+450%",
+                 f"{tail_up:+.0f}%", tail_up > 150),
+        ReproRow("busy CPU (bg 300Kpps)", "60-70%",
+                 f"{busy.cpu_utilization * 100:.0f}%",
+                 0.5 < busy.cpu_utilization < 0.95),
+    ]
+    table = format_table(rows)
+    cdf_idle = Cdf(idle.fg_samples_ns)
+    cdf_busy = Cdf(busy.fg_samples_ns)
+    detail = (f"\nidle : p50={cdf_idle.quantile(0.5) / 1000:.1f}us "
+              f"p99={cdf_idle.quantile(0.99) / 1000:.1f}us"
+              f"\nbusy : p50={cdf_busy.quantile(0.5) / 1000:.1f}us "
+              f"p99={cdf_busy.quantile(0.99) / 1000:.1f}us")
+    print_table(format_experiment_header(
+        "Fig. 3", "overlay latency, idle vs busy server (vanilla)"),
+        table + detail)
+    attach_info(benchmark, rows)
+    assert all(row.holds for row in rows)

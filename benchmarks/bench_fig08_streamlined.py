@@ -1,0 +1,77 @@
+"""Fig. 8 — Streamlined processing: latency and single-core throughput.
+
+Paper, for a 300 Kpps flow with no background:
+
+- PRISM-sync reduces per-packet latency (median and tail) by ~50%
+  versus vanilla; PRISM-batch lies in between;
+- max single-core throughput: vanilla ≈ PRISM-batch ≈ 400 Kpps,
+  PRISM-sync ≈ 300 Kpps (batching loss).
+"""
+
+from conftest import attach_info, pct_change
+
+from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.report import ReproRow, format_experiment_header, format_table
+from repro.prism.mode import StackMode
+from repro.sim.units import MS
+
+DURATION = 150 * MS
+WARMUP = 40 * MS
+
+
+def _latency(mode):
+    return run_experiment(ExperimentConfig(
+        mode=mode, fg_rate_pps=300_000, bg_rate_pps=0,
+        duration_ns=DURATION, warmup_ns=WARMUP))
+
+
+def _capacity(mode):
+    result = run_experiment(ExperimentConfig(
+        mode=mode, fg_kind="flood", fg_rate_pps=500_000, bg_rate_pps=0,
+        duration_ns=100 * MS, warmup_ns=20 * MS))
+    return result.fg_delivered_pps
+
+
+def _run_all():
+    latency = {mode: _latency(mode) for mode in StackMode}
+    capacity = {mode: _capacity(mode) for mode in StackMode}
+    return latency, capacity
+
+
+def test_fig8_latency_and_throughput(benchmark, print_table):
+    latency, capacity = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    van = latency[StackMode.VANILLA].fg_latency
+    bat = latency[StackMode.PRISM_BATCH].fg_latency
+    syn = latency[StackMode.PRISM_SYNC].fg_latency
+    cap_v = capacity[StackMode.VANILLA]
+    cap_b = capacity[StackMode.PRISM_BATCH]
+    cap_s = capacity[StackMode.PRISM_SYNC]
+    median_cut = pct_change(syn.p50_ns, van.p50_ns)
+    tail_cut = pct_change(syn.p99_ns, van.p99_ns)
+    rows = [
+        ReproRow("sync median latency vs vanilla", "about -50%",
+                 f"{median_cut:+.0f}%", median_cut < -35),
+        ReproRow("sync tail (p99) latency vs vanilla", "about -50%",
+                 f"{tail_cut:+.0f}%", tail_cut < -35),
+        ReproRow("batch lies between sync and vanilla",
+                 "sync <= batch <= vanilla",
+                 f"{syn.p50_us:.1f} <= {bat.p50_us:.1f} <= {van.p50_us:.1f} us",
+                 syn.p50_ns <= bat.p50_ns <= van.p50_ns),
+        ReproRow("vanilla max throughput", "~400 Kpps",
+                 f"{cap_v / 1000:.0f} Kpps", 350_000 < cap_v < 470_000),
+        ReproRow("batch max throughput ~ vanilla", "close to vanilla",
+                 f"{cap_b / 1000:.0f} Kpps", abs(cap_b - cap_v) / cap_v < 0.1),
+        ReproRow("sync max throughput", "~300 Kpps",
+                 f"{cap_s / 1000:.0f} Kpps", 260_000 < cap_s < 340_000),
+    ]
+    table = format_table(rows)
+    detail = "\n".join([
+        f"vanilla      {van}",
+        f"prism-batch  {bat}",
+        f"prism-sync   {syn}",
+    ])
+    print_table(format_experiment_header(
+        "Fig. 8", "Vanilla vs PRISM-batch vs PRISM-sync, 300 Kpps, no bg"),
+        table + "\n" + detail)
+    attach_info(benchmark, rows)
+    assert all(row.holds for row in rows)

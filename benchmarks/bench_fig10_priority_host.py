@@ -1,0 +1,56 @@
+"""Fig. 10 — High-priority *host network* latency under background load.
+
+Paper: on the host network (single-stage pipeline, no virtual devices)
+PRISM cannot improve the latency of high-priority flows versus vanilla,
+because the prototype cannot differentiate priority inside the physical
+NIC driver (§IV-D) — all modes perform the same.
+"""
+
+from conftest import attach_info, ratio
+
+from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.report import ReproRow, format_experiment_header, format_table
+from repro.prism.mode import StackMode
+from repro.sim.units import MS
+
+DURATION = 300 * MS
+WARMUP = 50 * MS
+
+
+def _run(mode):
+    return run_experiment(ExperimentConfig(
+        mode=mode, network="host", fg_rate_pps=1_000, bg_rate_pps=300_000,
+        duration_ns=DURATION, warmup_ns=WARMUP))
+
+
+def _run_all():
+    return {mode: _run(mode) for mode in StackMode}
+
+
+def test_fig10_host_network_no_improvement(benchmark, print_table):
+    busy = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    van = busy[StackMode.VANILLA].fg_latency
+    bat = busy[StackMode.PRISM_BATCH].fg_latency
+    syn = busy[StackMode.PRISM_SYNC].fg_latency
+    rows = [
+        ReproRow("batch avg vs vanilla (host)", "no improvement",
+                 f"{ratio(bat.avg_ns, van.avg_ns):.2f}x",
+                 0.9 < ratio(bat.avg_ns, van.avg_ns) < 1.15),
+        ReproRow("sync avg vs vanilla (host)", "no improvement",
+                 f"{ratio(syn.avg_ns, van.avg_ns):.2f}x",
+                 0.9 < ratio(syn.avg_ns, van.avg_ns) < 1.15),
+        ReproRow("sync p99 vs vanilla (host)", "no improvement",
+                 f"{ratio(syn.p99_ns, van.p99_ns):.2f}x",
+                 0.85 < ratio(syn.p99_ns, van.p99_ns) < 1.2),
+    ]
+    table = format_table(rows)
+    detail = "\n".join([
+        f"vanilla      {van}",
+        f"prism-batch  {bat}",
+        f"prism-sync   {syn}",
+    ])
+    print_table(format_experiment_header(
+        "Fig. 10", "host-network latency: PRISM cannot differentiate stage 1"),
+        table + "\n" + detail)
+    attach_info(benchmark, rows)
+    assert all(row.holds for row in rows)

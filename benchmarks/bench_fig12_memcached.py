@@ -1,0 +1,62 @@
+"""Fig. 12 — memcached under low-priority background traffic.
+
+Paper: on a busy server (vanilla), memcached throughput drops by ~80%
+and average latency rises by more than 5x versus idle.  With PRISM
+(sync), throughput is almost 2x the busy-vanilla throughput, and the
+min/avg/tail latencies drop by ~66/47/27%.
+"""
+
+from conftest import attach_info, pct_change, ratio
+
+from repro.bench.applications import AppBenchConfig, run_memcached_benchmark
+from repro.bench.report import ReproRow, format_experiment_header, format_table
+from repro.prism.mode import StackMode
+
+
+def _run_all():
+    results = {}
+    for mode in (StackMode.VANILLA, StackMode.PRISM_SYNC):
+        for busy in (False, True):
+            results[(mode, busy)] = run_memcached_benchmark(
+                AppBenchConfig(mode=mode, busy=busy))
+    return results
+
+
+def test_fig12_memcached(benchmark, print_table):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    van_idle = results[(StackMode.VANILLA, False)]
+    van_busy = results[(StackMode.VANILLA, True)]
+    pri_idle = results[(StackMode.PRISM_SYNC, False)]
+    pri_busy = results[(StackMode.PRISM_SYNC, True)]
+
+    tput_drop = pct_change(van_busy.throughput_per_sec,
+                           van_idle.throughput_per_sec)
+    lat_blow = ratio(van_busy.latency.avg_ns, van_idle.latency.avg_ns)
+    tput_gain = ratio(pri_busy.throughput_per_sec,
+                      van_busy.throughput_per_sec)
+    avg_cut = pct_change(pri_busy.latency.avg_ns, van_busy.latency.avg_ns)
+    tail_cut = pct_change(pri_busy.latency.p99_ns, van_busy.latency.p99_ns)
+    idle_same = ratio(pri_idle.throughput_per_sec, van_idle.throughput_per_sec)
+    rows = [
+        ReproRow("idle: PRISM ~ vanilla", "no significant difference",
+                 f"{idle_same:.2f}x tput", 0.9 < idle_same < 1.25),
+        ReproRow("busy vanilla throughput drop", "-80%",
+                 f"{tput_drop:+.0f}%", tput_drop < -50),
+        ReproRow("busy vanilla avg latency increase", ">5x",
+                 f"{lat_blow:.1f}x", lat_blow > 2.5),
+        ReproRow("PRISM busy throughput vs vanilla busy", "~2x",
+                 f"{tput_gain:.2f}x", tput_gain > 1.5),
+        ReproRow("PRISM busy avg latency", "about -47%",
+                 f"{avg_cut:+.0f}%", avg_cut < -30),
+        ReproRow("PRISM busy tail latency", "about -27%",
+                 f"{tail_cut:+.0f}%", tail_cut < -15),
+    ]
+    table = format_table(rows)
+    detail = "\n".join(
+        f"{mode.value:12s} {'busy' if busy else 'idle':4s} {res}"
+        for (mode, busy), res in results.items())
+    print_table(format_experiment_header(
+        "Fig. 12", "memcached (memaslap) vs 300 Kpps UDP background"),
+        table + "\n" + detail)
+    attach_info(benchmark, rows)
+    assert all(row.holds for row in rows)

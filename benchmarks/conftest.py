@@ -1,0 +1,46 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Every benchmark regenerates one table/figure from the paper's evaluation
+and prints a paper-vs-measured comparison (run pytest with ``-s`` to see
+the tables; they are also attached to pytest-benchmark's ``extra_info``).
+
+Absolute numbers are not expected to match the authors' testbed — the
+substrate here is a calibrated simulator — but the *shape* (who wins, by
+roughly what factor, where crossovers fall) must hold; each table row
+carries an ok/MISMATCH verdict for its shape check.
+"""
+
+import pytest
+
+
+def pct_change(new: float, old: float) -> float:
+    """Signed percent change from old to new (negative = reduction)."""
+    if old == 0:
+        raise ValueError("old value is zero")
+    return (new - old) / old * 100.0
+
+
+def ratio(new: float, old: float) -> float:
+    if old == 0:
+        raise ValueError("old value is zero")
+    return new / old
+
+
+def attach_info(benchmark, rows) -> None:
+    """Record the comparison rows in pytest-benchmark's extra info."""
+    benchmark.extra_info["repro"] = [
+        {"quantity": row.quantity, "paper": row.paper,
+         "measured": row.measured, "holds": row.holds}
+        for row in rows
+    ]
+
+
+@pytest.fixture
+def print_table(capsys):
+    """Print a report table so it survives pytest's capture with -s."""
+    def _print(header: str, table: str) -> None:
+        with capsys.disabled():
+            print()
+            print(header)
+            print(table)
+    return _print

@@ -1,0 +1,56 @@
+"""Command-line figure reproduction.
+
+Usage::
+
+    python -m repro              # list available figures
+    python -m repro fig9         # reproduce one figure
+    python -m repro all          # reproduce everything (several minutes)
+    python -m repro fig9 --quick # reduced duration (faster, noisier)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import FIGURES, reproduce
+from repro.bench.report import format_experiment_header, format_table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce figures from the PRISM paper (ICDCS 2022).")
+    parser.add_argument("figure", nargs="?",
+                        help="figure name (e.g. fig9) or 'all'")
+    parser.add_argument("--quick", action="store_true",
+                        help="run at 40%% duration for a faster look")
+    args = parser.parse_args(argv)
+
+    if not args.figure:
+        print("Available reproductions:\n")
+        for name, (title, _runner) in FIGURES.items():
+            print(f"  {name:7s} {title}")
+        print("\nRun: python -m repro <name>   or: python -m repro all")
+        return 0
+
+    names = list(FIGURES) if args.figure == "all" else [args.figure]
+    scale = 0.4 if args.quick else 1.0
+    failed = False
+    for name in names:
+        if name not in FIGURES:
+            print(f"unknown figure {name!r}; choose from {sorted(FIGURES)}")
+            return 2
+        title, _runner = FIGURES[name]
+        print(format_experiment_header(name, title))
+        detail, rows = reproduce(name, scale)
+        print(format_table(rows))
+        print(detail)
+        print()
+        if not all(row.holds for row in rows):
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Application models — the paper's workloads.
+
+- :mod:`~repro.apps.sockperf` — the sockperf ping-pong (latency) and
+  throughput (flood) modes, UDP and TCP, used for every microbenchmark
+  and as the low-priority background everywhere;
+- :mod:`~repro.apps.memcached` — a memcached server and a
+  memaslap-style windowed closed-loop client (Fig. 12);
+- :mod:`~repro.apps.webserver` — an nginx-style static HTTP server and a
+  wrk2-style constant-rate single-connection client with
+  coordinated-omission-corrected latency (Fig. 13);
+- :mod:`~repro.apps.remote` — client-machine plumbing: request builders
+  and TCP reassembly for the coarse remote host.
+"""
+
+from repro.apps.memcached import MemaslapClient, MemcachedServer
+from repro.apps.remote import RemoteRequestSender, RemoteTcpReassembler
+from repro.apps.sockperf import (
+    PingRecord,
+    SockperfTcpFlood,
+    SockperfUdpClient,
+    SockperfUdpFlood,
+    SockperfUdpServer,
+)
+from repro.apps.webserver import NginxServer, Wrk2Client
+
+__all__ = [
+    "MemaslapClient",
+    "MemcachedServer",
+    "NginxServer",
+    "PingRecord",
+    "RemoteRequestSender",
+    "RemoteTcpReassembler",
+    "SockperfTcpFlood",
+    "SockperfUdpClient",
+    "SockperfUdpFlood",
+    "SockperfUdpServer",
+    "Wrk2Client",
+]

@@ -1,0 +1,92 @@
+"""Client-machine plumbing for the coarse remote host.
+
+The remote machine's kernel is not under test, so its applications build
+wire packets directly:
+
+- :class:`RemoteRequestSender` constructs (and VXLAN-encapsulates) UDP
+  datagrams or TCP messages from a remote container toward a server
+  container and puts them on the wire;
+- :class:`RemoteTcpReassembler` reassembles server TCP replies that span
+  multiple segments (the client-side mirror of the server's
+  :class:`~repro.stack.tcp.TcpEndpoint`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.overlay.network import RemoteContainer, RemoteHost
+from repro.overlay.topology import OverlayNetwork
+from repro.packet.addr import Ipv4Address
+from repro.packet.packet import Packet
+from repro.stack.egress import apply_encap, build_tcp_segments, build_udp_packet
+from repro.stack.tcp import TcpMessage, TcpSegment
+
+__all__ = ["RemoteRequestSender", "RemoteTcpReassembler"]
+
+
+class RemoteRequestSender:
+    """Builds and transmits overlay packets from a remote container."""
+
+    def __init__(self, client: RemoteHost, overlay: OverlayNetwork,
+                 src: RemoteContainer, dst_ip: object, *, mss: int = 1_448) -> None:
+        self.client = client
+        self.overlay = overlay
+        self.src = src
+        self.dst_ip = Ipv4Address(dst_ip)
+        self.mss = mss
+        self._dst_endpoint = overlay.endpoint(self.dst_ip)
+        self._encap = overlay.encap_info(client.ip, client.mac, self.dst_ip)
+        self.sent_packets = 0
+
+    def send_udp(self, *, src_port: int, dst_port: int,
+                 payload: Any, payload_len: int,
+                 created_at: Optional[int] = None) -> Packet:
+        """Encapsulate and transmit one UDP datagram; returns the packet."""
+        inner = build_udp_packet(
+            src_mac=self.src.mac, dst_mac=self._dst_endpoint.mac,
+            src_ip=self.src.ip, dst_ip=self.dst_ip,
+            src_port=src_port, dst_port=dst_port,
+            payload=payload, payload_len=payload_len, created_at=created_at)
+        packet = apply_encap(inner, self._encap)
+        self.client.transmit(packet)
+        self.sent_packets += 1
+        return packet
+
+    def send_tcp_message(self, *, src_port: int, dst_port: int,
+                         message: TcpMessage) -> List[Packet]:
+        """Segment, encapsulate, and transmit one TCP message."""
+        segments = build_tcp_segments(
+            src_mac=self.src.mac, dst_mac=self._dst_endpoint.mac,
+            src_ip=self.src.ip, dst_ip=self.dst_ip,
+            src_port=src_port, dst_port=dst_port,
+            message=message, mss=self.mss)
+        packets = [apply_encap(segment, self._encap) for segment in segments]
+        for packet in packets:
+            self.client.transmit(packet)
+        self.sent_packets += len(packets)
+        return packets
+
+
+class RemoteTcpReassembler:
+    """Reassembles TCP messages arriving at the coarse client."""
+
+    def __init__(self, on_message: Callable[[TcpMessage], None]) -> None:
+        self.on_message = on_message
+        self._partial: Dict[Tuple[int, int], int] = {}
+        self.messages = 0
+
+    def feed(self, packet: Packet) -> Optional[TcpMessage]:
+        """Process one (inner) packet; returns a message when complete."""
+        segment = packet.payload
+        if not isinstance(segment, TcpSegment):
+            return None
+        key = (segment.message.message_id, id(segment.message))
+        received = self._partial.get(key, 0) + segment.seg_len
+        if received >= segment.message.length:
+            self._partial.pop(key, None)
+            self.messages += 1
+            self.on_message(segment.message)
+            return segment.message
+        self._partial[key] = received
+        return None

@@ -1,0 +1,219 @@
+"""sockperf — the paper's microbenchmark workload generator.
+
+Modes reproduced:
+
+- **ping-pong (under-load)**: the client sends requests at a constant
+  rate and measures latency as RTT/2 per reply ("Sockperf measures
+  latency from the client application as the round-trip time divided by
+  two", §V-B1);
+- **UDP throughput**: a one-way constant-rate flood — the paper's
+  low-priority background traffic (≈300 Kpps consuming 60–70 % of the
+  packet-processing core);
+- **TCP throughput**: large messages (e.g. 64 KB) at a constant message
+  rate, TSO-fragmented to MTU segments — the Fig. 13 background.
+
+Servers run as real threads inside server containers; clients run on the
+coarse remote machine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.kernel.cpu import Work
+from repro.metrics.recorder import LatencyRecorder, ThroughputMeter
+from repro.overlay.container import Container
+from repro.overlay.network import RemoteContainer, RemoteHost
+from repro.overlay.topology import OverlayNetwork
+from repro.packet.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.units import SEC
+from repro.apps.remote import RemoteRequestSender
+from repro.stack.tcp import TcpMessage
+
+__all__ = ["PingRecord", "SockperfUdpServer", "SockperfUdpClient",
+           "SockperfUdpFlood", "SockperfTcpFlood"]
+
+_seq = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class PingRecord:
+    """Payload of one ping-pong request (echoed back by the server)."""
+
+    seq: int
+    sent_at: int
+
+
+class SockperfUdpServer:
+    """A containerized sockperf UDP server thread.
+
+    In ping-pong mode every datagram is echoed back to its sender; in
+    drain mode (``reply=False``, the throughput test) datagrams are only
+    consumed and counted.
+    """
+
+    def __init__(self, container: Container, port: int, *,
+                 core_id: int = 1, reply: bool = True,
+                 app_work_ns: int = 300) -> None:
+        self.container = container
+        self.port = port
+        self.reply = reply
+        self.app_work_ns = app_work_ns
+        self.socket = container.udp_socket(port, core_id=core_id)
+        self.received = ThroughputMeter(f"sockperf-server:{port}")
+        self.thread = container.spawn(self._run(), core_id=core_id,
+                                      name=f"sockperf-srv:{port}")
+
+    def _run(self):
+        sim = self.container.host.sim
+        while True:
+            skb = yield from self.socket.recv()
+            self.received.record(sim.now, skb.wire_len)
+            yield Work(self.app_work_ns)
+            if not self.reply:
+                continue
+            packet = skb.packet
+            ip = packet.ip
+            l4 = packet.l4
+            if ip is None or l4 is None:
+                continue
+            yield from self.container.send_udp(
+                dst_ip=ip.src, dst_port=l4.src_port, src_port=self.port,
+                payload=packet.payload, payload_len=packet.payload_len)
+
+
+class SockperfUdpClient:
+    """Constant-rate ping-pong client (latency mode) on the remote host."""
+
+    def __init__(self, sim: Simulator, client: RemoteHost,
+                 overlay: OverlayNetwork, src: RemoteContainer,
+                 dst_ip: object, dst_port: int, *,
+                 rate_pps: float, payload_len: int = 16,
+                 src_port: int = 30001,
+                 recorder: Optional[LatencyRecorder] = None,
+                 warmup_until_ns: int = 0) -> None:
+        if rate_pps <= 0:
+            raise ValueError("rate_pps must be positive")
+        self.sim = sim
+        self.sender = RemoteRequestSender(client, overlay, src, dst_ip)
+        self.dst_port = dst_port
+        self.src_port = src_port
+        self.payload_len = payload_len
+        self.interval_ns = int(SEC / rate_pps)
+        self.recorder = recorder if recorder is not None else LatencyRecorder(
+            f"sockperf:{dst_port}", warmup_until_ns=warmup_until_ns)
+        self.sent = 0
+        self.replies = 0
+        client.on_port(src_port, self._on_reply)
+        self.process = sim.process(self._run(), name=f"sockperf-cli:{dst_port}")
+
+    def _run(self):
+        while True:
+            record = PingRecord(seq=next(_seq), sent_at=self.sim.now)
+            self.sender.send_udp(src_port=self.src_port, dst_port=self.dst_port,
+                                 payload=record, payload_len=self.payload_len,
+                                 created_at=self.sim.now)
+            self.sent += 1
+            yield self.interval_ns
+
+    def _on_reply(self, inner: Packet) -> None:
+        record = inner.payload
+        if not isinstance(record, PingRecord):
+            return
+        self.replies += 1
+        rtt = self.sim.now - record.sent_at
+        # sockperf reports one-way latency as RTT/2.
+        self.recorder.record(rtt // 2, at_ns=self.sim.now)
+
+    def stop(self) -> None:
+        self.process.kill()
+
+
+class SockperfUdpFlood:
+    """One-way UDP flood (throughput mode) — background traffic.
+
+    sockperf's throughput mode issues sends back-to-back from a tight
+    loop, so at a given average rate the wire sees *bursts* of packets,
+    not a perfectly paced stream (syscall batching, qdisc bursts, sender
+    scheduling jitter).  ``burst`` controls how many packets go out
+    back-to-back; the average rate is preserved by lengthening the gap
+    between bursts.  The paper's head-of-line-blocking measurements
+    depend on this burstiness: a perfectly paced background never builds
+    the multi-packet queues that delay latency-sensitive flows.
+    """
+
+    def __init__(self, sim: Simulator, client: RemoteHost,
+                 overlay: OverlayNetwork, src: RemoteContainer,
+                 dst_ip: object, dst_port: int, *,
+                 rate_pps: float, payload_len: int = 32,
+                 src_port: int = 30002, burst: int = 1) -> None:
+        if rate_pps <= 0:
+            raise ValueError("rate_pps must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.sim = sim
+        self.sender = RemoteRequestSender(client, overlay, src, dst_ip)
+        self.dst_port = dst_port
+        self.src_port = src_port
+        self.payload_len = payload_len
+        self.burst = burst
+        self.interval_ns = SEC / rate_pps
+        self.sent = 0
+        self.process = sim.process(self._run(), name=f"udp-flood:{dst_port}")
+
+    def _run(self):
+        next_burst = float(self.sim.now)
+        while True:
+            for _ in range(self.burst):
+                self.sender.send_udp(src_port=self.src_port,
+                                     dst_port=self.dst_port,
+                                     payload=None,
+                                     payload_len=self.payload_len,
+                                     created_at=self.sim.now)
+                self.sent += 1
+            # Track fractional intervals so the long-run rate is exact.
+            next_burst += self.interval_ns * self.burst
+            delay = max(0, int(next_burst) - self.sim.now)
+            yield delay
+
+    def stop(self) -> None:
+        self.process.kill()
+
+
+class SockperfTcpFlood:
+    """One-way TCP flood of large messages (Fig. 13 background)."""
+
+    def __init__(self, sim: Simulator, client: RemoteHost,
+                 overlay: OverlayNetwork, src: RemoteContainer,
+                 dst_ip: object, dst_port: int, *,
+                 rate_msgs_per_sec: float, message_len: int = 65_536,
+                 src_port: int = 30003, mss: int = 1_448) -> None:
+        if rate_msgs_per_sec <= 0:
+            raise ValueError("rate_msgs_per_sec must be positive")
+        self.sim = sim
+        self.sender = RemoteRequestSender(client, overlay, src, dst_ip, mss=mss)
+        self.dst_port = dst_port
+        self.src_port = src_port
+        self.message_len = message_len
+        self.interval_ns = SEC / rate_msgs_per_sec
+        self.sent_messages = 0
+        self.process = sim.process(self._run(), name=f"tcp-flood:{dst_port}")
+
+    def _run(self):
+        next_send = float(self.sim.now)
+        while True:
+            message = TcpMessage(payload=None, length=self.message_len,
+                                 created_at=self.sim.now)
+            self.sender.send_tcp_message(src_port=self.src_port,
+                                         dst_port=self.dst_port,
+                                         message=message)
+            self.sent_messages += 1
+            next_send += self.interval_ns
+            delay = max(0, int(next_send) - self.sim.now)
+            yield delay
+
+    def stop(self) -> None:
+        self.process.kill()

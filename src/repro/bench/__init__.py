@@ -1,0 +1,29 @@
+"""The experiment harness: testbeds, scenarios, and reporting.
+
+- :mod:`~repro.bench.testbed` — builds the paper's two-machine setup
+  (fully simulated server + coarse client, point-to-point wire, VXLAN
+  overlay);
+- :mod:`~repro.bench.experiment` — experiment configuration and runner
+  for the microbenchmarks (Figs. 3, 8–11);
+- :mod:`~repro.bench.applications` — runners for the application
+  benchmarks (memcached — Fig. 12; web server — Fig. 13);
+- :mod:`~repro.bench.report` — paper-vs-measured tables.
+"""
+
+from repro.bench.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.bench.report import ReproRow, format_table
+from repro.bench.testbed import Testbed, build_testbed
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ReproRow",
+    "Testbed",
+    "build_testbed",
+    "format_table",
+    "run_experiment",
+]

@@ -1,0 +1,274 @@
+"""Microbenchmark experiment runner (paper Figs. 3, 8, 9, 10, 11).
+
+One :class:`ExperimentConfig` describes a complete scenario: network type
+(overlay/host), stack mode, foreground flow (ping-pong latency or flood
+throughput), optional low-priority background flood, durations, and
+knobs.  :func:`run_experiment` builds the testbed, runs it, and returns
+an :class:`ExperimentResult` with latency summaries, delivered rates, CPU
+utilization of the packet-processing core, and drop counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.sockperf import (
+    SockperfUdpClient,
+    SockperfUdpFlood,
+    SockperfUdpServer,
+)
+from repro.bench.testbed import Testbed, build_testbed
+from repro.kernel.config import KernelConfig
+from repro.kernel.costs import CostModel
+from repro.kernel.cpu import Work
+from repro.metrics.recorder import (
+    CpuUtilizationSampler,
+    LatencyRecorder,
+    ThroughputMeter,
+)
+from repro.metrics.stats import LatencySummary, summarize_ns
+from repro.prism.mode import StackMode
+from repro.sim.units import MS, SEC
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment"]
+
+FG_PORT = 11111
+BG_PORT = 12222
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One microbenchmark scenario."""
+
+    mode: StackMode = StackMode.VANILLA
+    #: "overlay" (3-stage container pipeline) or "host" (single stage).
+    network: str = "overlay"
+    #: Foreground flow: "pingpong" measures latency; "flood" measures
+    #: delivered throughput.
+    fg_kind: str = "pingpong"
+    fg_rate_pps: float = 1_000.0
+    fg_payload_len: int = 16
+    #: Mark the foreground flow high-priority in the PRISM database.
+    fg_high_priority: bool = True
+    #: Background low-priority UDP flood (0 disables it).
+    bg_rate_pps: float = 0.0
+    bg_payload_len: int = 32
+    #: Background burstiness (packets sent back-to-back per burst);
+    #: sockperf's throughput mode blasts from a tight loop, so bursts
+    #: exceed one NAPI batch — which is what triggers the interleaving
+    #: pathology of Fig. 6a.  See SockperfUdpFlood.
+    bg_burst: int = 96
+    #: Measurement window and warm-up.
+    duration_ns: int = 300 * MS
+    warmup_ns: int = 60 * MS
+    seed: int = 1
+    costs: Optional[CostModel] = None
+    kernel_config: Optional[KernelConfig] = None
+
+    def label(self) -> str:
+        busy = f"+bg{self.bg_rate_pps / 1000:.0f}k" if self.bg_rate_pps else ""
+        return f"{self.network}/{self.mode}{busy}"
+
+
+@dataclass
+class ExperimentResult:
+    """Measurements from one experiment run."""
+
+    config: ExperimentConfig
+    fg_latency: Optional[LatencySummary]
+    fg_samples_ns: List[int]
+    fg_sent: int
+    fg_replies: int
+    fg_delivered_pps: float
+    bg_delivered_pps: float
+    cpu_utilization: float
+    softirq_fraction: float
+    drops: Dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        latency = str(self.fg_latency) if self.fg_latency else "no samples"
+        return (f"[{self.config.label()}] fg: {latency} | "
+                f"fg={self.fg_delivered_pps / 1000:.0f}kpps "
+                f"bg={self.bg_delivered_pps / 1000:.0f}kpps "
+                f"cpu={self.cpu_utilization * 100:.0f}%")
+
+
+def _host_network_setup(testbed: Testbed, config: ExperimentConfig,
+                        recorder: LatencyRecorder):
+    """Foreground/background served by host (root-namespace) sockets."""
+    from repro.apps.remote import RemoteRequestSender  # local, avoids cycle
+    from repro.apps.sockperf import PingRecord
+    import itertools
+
+    sim = testbed.sim
+    server = testbed.server
+    fg_socket = server.udp_socket(FG_PORT, core_id=1)
+    fg_meter = ThroughputMeter("fg", warmup_until_ns=config.warmup_ns)
+
+    def fg_server():
+        while True:
+            skb = yield from fg_socket.recv()
+            fg_meter.record(sim.now, skb.wire_len)
+            yield Work(600)
+            packet = skb.packet
+            if config.fg_kind != "pingpong" or packet.ip is None:
+                continue
+            yield from server.egress.udp_send(
+                src_mac=server.mac, dst_mac=testbed.client.mac,
+                src_ip=server.ip, dst_ip=packet.ip.src,
+                src_port=FG_PORT, dst_port=packet.l4.src_port,
+                payload=packet.payload, payload_len=packet.payload_len)
+
+    server.spawn(fg_server(), core_id=1, name="fg-host-server")
+
+    seq = itertools.count(1)
+
+    def client_sender():
+        interval = SEC / config.fg_rate_pps
+        next_send = float(sim.now)
+        while True:
+            from repro.stack.egress import build_udp_packet
+            record = PingRecord(seq=next(seq), sent_at=sim.now)
+            packet = build_udp_packet(
+                src_mac=testbed.client.mac, dst_mac=server.mac,
+                src_ip=testbed.client.ip, dst_ip=server.ip,
+                src_port=30001, dst_port=FG_PORT,
+                payload=record, payload_len=config.fg_payload_len,
+                created_at=sim.now)
+            testbed.client.transmit(packet)
+            counters["fg_sent"] += 1
+            next_send += interval
+            yield max(0, int(next_send) - sim.now)
+
+    counters = {"fg_sent": 0, "fg_replies": 0}
+
+    def on_reply(inner):
+        record = inner.payload
+        if isinstance(record, PingRecord):
+            counters["fg_replies"] += 1
+            recorder.record((sim.now - record.sent_at) // 2, at_ns=sim.now)
+
+    testbed.client.on_port(30001, on_reply)
+    sim.process(client_sender(), name="fg-host-client")
+
+    bg_meter = ThroughputMeter("bg", warmup_until_ns=config.warmup_ns)
+    if config.bg_rate_pps > 0:
+        bg_socket = server.udp_socket(BG_PORT, core_id=2)
+
+        def bg_server():
+            while True:
+                skb = yield from bg_socket.recv()
+                bg_meter.record(sim.now, skb.wire_len)
+                yield Work(400)
+
+        server.spawn(bg_server(), core_id=2, name="bg-host-server")
+
+        def bg_sender():
+            from repro.stack.egress import build_udp_packet
+            interval = SEC / config.bg_rate_pps
+            next_burst = float(sim.now)
+            while True:
+                for _ in range(config.bg_burst):
+                    packet = build_udp_packet(
+                        src_mac=testbed.client.mac, dst_mac=server.mac,
+                        src_ip=testbed.client.ip, dst_ip=server.ip,
+                        src_port=30002, dst_port=BG_PORT,
+                        payload=None, payload_len=config.bg_payload_len,
+                        created_at=sim.now)
+                    testbed.client.transmit(packet)
+                next_burst += interval * config.bg_burst
+                yield max(0, int(next_burst) - sim.now)
+
+        sim.process(bg_sender(), name="bg-host-client")
+
+    if config.fg_high_priority:
+        testbed.mark_high_priority(str(server.ip), FG_PORT)
+    return fg_meter, bg_meter, counters
+
+
+def _overlay_setup(testbed: Testbed, config: ExperimentConfig,
+                   recorder: LatencyRecorder):
+    """Foreground/background between containers over the VXLAN overlay."""
+    sim = testbed.sim
+    fg_server_cont = testbed.add_server_container("fg-server", "10.0.0.10")
+    fg_client_cont = testbed.add_client_container("fg-client", "10.0.0.100")
+
+    reply = config.fg_kind == "pingpong"
+    fg_server = SockperfUdpServer(fg_server_cont, FG_PORT, core_id=1,
+                                  reply=reply)
+    fg_server.received.warmup_until_ns = config.warmup_ns
+
+    counters = {"fg_sent": 0, "fg_replies": 0}
+    if reply:
+        fg_client = SockperfUdpClient(
+            sim, testbed.client, testbed.overlay, fg_client_cont,
+            "10.0.0.10", FG_PORT, rate_pps=config.fg_rate_pps,
+            payload_len=config.fg_payload_len, src_port=30001,
+            recorder=recorder, warmup_until_ns=config.warmup_ns)
+    else:
+        fg_client = SockperfUdpFlood(
+            sim, testbed.client, testbed.overlay, fg_client_cont,
+            "10.0.0.10", FG_PORT, rate_pps=config.fg_rate_pps,
+            payload_len=config.fg_payload_len, src_port=30001)
+
+    bg_meter = ThroughputMeter("bg", warmup_until_ns=config.warmup_ns)
+    if config.bg_rate_pps > 0:
+        bg_server_cont = testbed.add_server_container("bg-server", "10.0.0.11")
+        bg_client_cont = testbed.add_client_container("bg-client", "10.0.0.101")
+        bg_server = SockperfUdpServer(bg_server_cont, BG_PORT, core_id=2,
+                                      reply=False, app_work_ns=400)
+        bg_server.received.warmup_until_ns = config.warmup_ns
+        SockperfUdpFlood(
+            sim, testbed.client, testbed.overlay, bg_client_cont,
+            "10.0.0.11", BG_PORT, rate_pps=config.bg_rate_pps,
+            payload_len=config.bg_payload_len, src_port=30002,
+            burst=config.bg_burst)
+        bg_meter = bg_server.received
+
+    if config.fg_high_priority:
+        testbed.mark_high_priority("10.0.0.10", FG_PORT)
+    return fg_server.received, bg_meter, counters, fg_client
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Build the scenario, simulate it, and collect the measurements."""
+    if config.network not in ("overlay", "host"):
+        raise ValueError(f"unknown network type {config.network!r}")
+    testbed = build_testbed(seed=config.seed, costs=config.costs,
+                            config=config.kernel_config, mode=config.mode)
+    sim = testbed.sim
+    recorder = LatencyRecorder("fg", warmup_until_ns=config.warmup_ns)
+
+    fg_client = None
+    if config.network == "overlay":
+        fg_meter, bg_meter, counters, fg_client = _overlay_setup(
+            testbed, config, recorder)
+    else:
+        fg_meter, bg_meter, counters = _host_network_setup(
+            testbed, config, recorder)
+
+    packet_core = testbed.server.kernel.cpu(0)
+    sampler = CpuUtilizationSampler(packet_core, lambda: sim.now)
+
+    sim.run(until=config.warmup_ns)
+    sampler.mark()
+    sim.run(until=config.warmup_ns + config.duration_ns)
+
+    window = config.duration_ns
+    fg_sent = counters["fg_sent"] if counters["fg_sent"] else (
+        getattr(fg_client, "sent", 0))
+    fg_replies = counters["fg_replies"] if counters["fg_replies"] else (
+        getattr(fg_client, "replies", 0))
+    return ExperimentResult(
+        config=config,
+        fg_latency=recorder.summary(),
+        fg_samples_ns=list(recorder.samples_ns),
+        fg_sent=fg_sent,
+        fg_replies=fg_replies,
+        fg_delivered_pps=fg_meter.count * 1e9 / window,
+        bg_delivered_pps=bg_meter.count * 1e9 / window,
+        cpu_utilization=sampler.utilization(),
+        softirq_fraction=sampler.softirq_fraction(),
+        drops=dict(testbed.server.kernel.drops),
+    )

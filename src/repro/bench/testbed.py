@@ -1,0 +1,111 @@
+"""The standard two-machine testbed (paper §V-A).
+
+One fully simulated server host (the system under test) and one coarse
+remote client machine, connected point-to-point.  A VXLAN overlay spans
+both; server-side containers are fully materialized (namespace, veth,
+bridge port, FDB entry) while client-side containers are overlay
+registrations whose traffic the client generates directly.
+
+Addresses follow the paper's Docker-default layout:
+
+- hosts:      192.168.1.1 (server), 192.168.1.2 (client)
+- containers: 10.0.0.0/24 — .10+ on the server, .100+ on the client
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.kernel.config import KernelConfig
+from repro.kernel.costs import CostModel
+from repro.overlay.container import Container
+from repro.overlay.host import Host
+from repro.overlay.network import RemoteContainer, RemoteHost, Wire
+from repro.overlay.topology import (
+    HostOverlay,
+    OverlayNetwork,
+    register_remote_container,
+)
+from repro.packet.addr import Ipv4Address, MacAddress
+from repro.prism.mode import StackMode
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+from repro.trace.tracer import Tracer
+
+__all__ = ["Testbed", "build_testbed"]
+
+SERVER_HOST_IP = "192.168.1.1"
+CLIENT_HOST_IP = "192.168.1.2"
+SERVER_HOST_MAC = "52:54:00:00:00:01"
+CLIENT_HOST_MAC = "52:54:00:00:00:02"
+
+
+@dataclass
+class Testbed:
+    """Everything one experiment needs, wired together."""
+
+    sim: Simulator
+    rng: SeededRng
+    server: Host
+    client: RemoteHost
+    wire: Wire
+    overlay: OverlayNetwork
+    server_overlay: HostOverlay
+    server_containers: Dict[str, Container] = field(default_factory=dict)
+    client_containers: Dict[str, RemoteContainer] = field(default_factory=dict)
+
+    def add_server_container(self, name: str, ip: str) -> Container:
+        container = self.server_overlay.add_container(name, ip)
+        self.server_containers[name] = container
+        return container
+
+    def add_client_container(self, name: str, ip: str) -> RemoteContainer:
+        container = register_remote_container(self.overlay, self.client,
+                                              name, ip)
+        self.client_containers[name] = container
+        return container
+
+    def set_mode(self, mode: StackMode) -> None:
+        """Switch the server's stack mode (procfs-equivalent)."""
+        self.server.kernel.set_mode(mode)
+
+    def mark_high_priority(self, ip: str, port: int) -> None:
+        """Add a high-priority rule via the server's procfs interface."""
+        self.server.kernel.procfs.write("/proc/prism/priority",
+                                        f"add {ip} {port}")
+
+
+def build_testbed(*, seed: int = 0,
+                  costs: Optional[CostModel] = None,
+                  config: Optional[KernelConfig] = None,
+                  mode: StackMode = StackMode.VANILLA,
+                  tracer: Optional[Tracer] = None,
+                  n_cpus: int = 3) -> Testbed:
+    """Build the standard testbed.
+
+    CPU 0 is the packet-processing core (NIC irq affinity); application
+    threads default to cores 1+ — the paper's single-processing-core
+    stress setup.
+    """
+    sim = Simulator()
+    rng = SeededRng(seed)
+    costs = costs or CostModel()
+    config = (config or KernelConfig()).replace(initial_mode=mode)
+
+    server = Host(sim, name="server",
+                  ip=Ipv4Address(SERVER_HOST_IP),
+                  mac=MacAddress(SERVER_HOST_MAC),
+                  costs=costs, config=config, tracer=tracer,
+                  n_cpus=n_cpus, nic_cpu=0)
+    client = RemoteHost(sim, costs,
+                        name="client",
+                        ip=Ipv4Address(CLIENT_HOST_IP),
+                        mac=MacAddress(CLIENT_HOST_MAC))
+    wire = Wire(sim, costs)
+    wire.attach(server, client)
+
+    overlay = OverlayNetwork(vni=42)
+    server_overlay = HostOverlay(server, overlay)
+    return Testbed(sim=sim, rng=rng, server=server, client=client, wire=wire,
+                   overlay=overlay, server_overlay=server_overlay)

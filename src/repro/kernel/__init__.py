@@ -1,0 +1,44 @@
+"""The simulated Linux kernel: CPUs, softirqs, NAPI, and packet scheduling.
+
+This package models the parts of the Linux kernel that the PRISM paper
+modifies or depends on:
+
+- :mod:`~repro.kernel.costs` — the calibrated timing model;
+- :mod:`~repro.kernel.cpu` — CPU cores with hardirq/softirq/user contexts,
+  preemption, C-states, and utilization accounting;
+- :mod:`~repro.kernel.softnet` — per-CPU ``softnet_data`` (NAPI poll lists,
+  backlog), ``napi_struct``;
+- :mod:`~repro.kernel.net_rx_vanilla` — the vanilla ``net_rx_action``
+  exactly as the paper's Fig. 2 pseudocode;
+- :mod:`~repro.kernel.net_rx_prism` — PRISM's ``net_rx_action`` exactly as
+  the paper's Fig. 7 pseudocode;
+- :mod:`~repro.kernel.gro` — generic receive offload (coalescing);
+- :mod:`~repro.kernel.rps` — receive packet steering;
+- :mod:`~repro.kernel.config` — per-host kernel configuration knobs.
+"""
+
+from repro.kernel.config import KernelConfig
+from repro.kernel.costs import CostModel
+from repro.kernel.cpu import (
+    Block,
+    CpuContext,
+    CpuCore,
+    CpuStats,
+    UserThread,
+    Work,
+)
+from repro.kernel.softnet import NapiStruct, SoftnetData, NET_RX_SOFTIRQ
+
+__all__ = [
+    "Block",
+    "CostModel",
+    "CpuContext",
+    "CpuCore",
+    "CpuStats",
+    "KernelConfig",
+    "NET_RX_SOFTIRQ",
+    "NapiStruct",
+    "SoftnetData",
+    "UserThread",
+    "Work",
+]

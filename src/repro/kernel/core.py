@@ -1,0 +1,121 @@
+"""The per-host kernel instance: CPUs, softnets, mode, and PRISM state.
+
+:class:`Kernel` wires together everything a simulated host's network stack
+needs: the CPU cores (with NET_RX softirq handlers installed), per-CPU
+``softnet_data``, the PRISM priority database/classifier, the procfs
+configuration surface, and the tracer.
+
+The stack mode (vanilla / prism-batch / prism-sync) is a *runtime*
+property, switchable through procfs mid-simulation, exactly like the
+paper's prototype.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.kernel.config import KernelConfig
+from repro.kernel.costs import CostModel
+from repro.kernel.cpu import CpuCore
+from repro.kernel.net_rx_prism import net_rx_action_prism
+from repro.kernel.net_rx_vanilla import net_rx_action_vanilla
+from repro.kernel.softnet import NET_RX_SOFTIRQ, SoftnetData
+from repro.prism.classifier import PriorityClassifier
+from repro.prism.mode import StackMode
+from repro.prism.priority_db import PriorityDatabase
+from repro.prism.procfs import ProcFs
+from repro.sim.engine import Simulator
+from repro.trace.tracer import Tracer
+
+__all__ = ["Kernel"]
+
+
+class Kernel:
+    """The simulated kernel of one host."""
+
+    def __init__(self, sim: Simulator, *,
+                 costs: Optional[CostModel] = None,
+                 config: Optional[KernelConfig] = None,
+                 tracer: Optional[Tracer] = None,
+                 n_cpus: int = 2,
+                 name: str = "host") -> None:
+        if n_cpus < 1:
+            raise ValueError("a host needs at least one CPU")
+        self.sim = sim
+        self.name = name
+        self.costs = costs or CostModel()
+        self.config = config or KernelConfig()
+        self.tracer = tracer or Tracer()
+        self.mode: StackMode = self.config.initial_mode
+
+        self.priority_db = PriorityDatabase()
+        self.classifier = PriorityClassifier(self.priority_db, self.costs)
+        self.procfs = ProcFs(self.priority_db,
+                             get_mode=lambda: self.mode,
+                             set_mode=self._set_mode)
+
+        self.cpus: List[CpuCore] = [
+            CpuCore(sim, core_id, self.costs) for core_id in range(n_cpus)]
+        self.softnets: List[SoftnetData] = [
+            SoftnetData(self, cpu) for cpu in self.cpus]
+        for cpu, softnet in zip(self.cpus, self.softnets):
+            cpu.register_softirq(
+                NET_RX_SOFTIRQ, self._make_net_rx_handler(softnet))
+
+        #: Drop counters by queue name (populated by NapiStruct/sockets).
+        self.drops: Dict[str, int] = {}
+        #: Optional receive packet steering (see :meth:`enable_rps`).
+        self.rps = None
+
+    def enable_rps(self, cpu_ids) -> None:
+        """Spread incoming flows over *cpu_ids* by flow hash."""
+        from repro.kernel.rps import RpsSteering
+        self.rps = RpsSteering(self, list(cpu_ids))
+        self.config = self.config.replace(rps_enabled=True)
+
+    def is_high_class(self, skb) -> bool:
+        """True if *skb* belongs to the high-priority device queue class.
+
+        The paper's prototype is binary (level 0 = high).  The
+        multi-level extension (§VII-3) collapses levels onto the two
+        device queues via ``config.high_priority_max_level``.
+        """
+        return (skb.priority_level is not None
+                and skb.priority_level <= self.config.high_priority_max_level)
+
+    # ------------------------------------------------------------------
+    # Mode switching
+    # ------------------------------------------------------------------
+    def _set_mode(self, mode: StackMode) -> None:
+        self.mode = mode
+
+    def set_mode(self, mode: StackMode) -> None:
+        """Switch the stack mode at runtime (procfs-equivalent)."""
+        self._set_mode(mode)
+
+    # ------------------------------------------------------------------
+    # Softirq dispatch
+    # ------------------------------------------------------------------
+    def _make_net_rx_handler(self, softnet: SoftnetData):
+        def handler() -> Generator[int, None, None]:
+            if self.mode is StackMode.VANILLA:
+                return net_rx_action_vanilla(self, softnet)
+            return net_rx_action_prism(self, softnet)
+        return handler
+
+    def softnet_for(self, cpu_id: int) -> SoftnetData:
+        return self.softnets[cpu_id]
+
+    def cpu(self, cpu_id: int) -> CpuCore:
+        return self.cpus[cpu_id]
+
+    def count_drop(self, queue_name: str) -> None:
+        self.drops[queue_name] = self.drops.get(queue_name, 0) + 1
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drops.values())
+
+    def __repr__(self) -> str:
+        return (f"<Kernel {self.name!r} mode={self.mode} "
+                f"cpus={len(self.cpus)}>")

@@ -1,0 +1,69 @@
+"""PRISM's ``net_rx_action`` — a direct transcription of paper Fig. 7.
+
+Differences from vanilla (§III-A, §IV-C):
+
+- a **single** per-CPU poll list: no global/local split, so devices added
+  mid-softirq (including to the head) are visible to the very next loop
+  iteration — this enables batch-level preemption;
+- after polling a device, it is re-inserted at the **head** if it holds
+  high-priority packets, at the tail if it holds only low-priority ones
+  (Fig. 7 lines 13–16);
+- the per-device ``napi_poll`` itself prefers the high-priority queue
+  (implemented in :meth:`repro.kernel.softnet.NapiStruct.poll`).
+
+Combined with head insertion by the stage-transition functions, the device
+order for a high-priority flow becomes the streamlined
+``eth, br, veth, eth, ...`` of Fig. 6b.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.kernel.softnet import NET_RX_SOFTIRQ, SoftnetData
+from repro.trace.tracer import TracePoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+
+__all__ = ["net_rx_action_prism"]
+
+
+def net_rx_action_prism(kernel: "Kernel", softnet: SoftnetData
+                        ) -> Generator[int, None, None]:
+    """One NET_RX softirq invocation, PRISM semantics (Fig. 7)."""
+    costs = kernel.costs
+    config = kernel.config
+    cpu = softnet.cpu
+    kernel.tracer.emit(TracePoint.NET_RX_ACTION, cpu=cpu.core_id,
+                       mode=str(kernel.mode))
+    yield costs.softirq_dispatch_ns
+
+    processed = 0
+    while True:
+        # Fig. 7 lines 9-11: take the head of the single global list.
+        if not softnet.poll_list:
+            break
+        napi = softnet.poll_list.popleft()
+        processed += yield from napi.poll(config.napi_weight)
+        # Fig. 7 lines 13-16: head if high-priority work remains, tail if
+        # only low-priority work remains, complete otherwise.
+        if napi.has_high():
+            softnet.poll_list.appendleft(napi)
+        elif napi.has_low():
+            softnet.poll_list.append(napi)
+        else:
+            softnet.napi_complete(napi)
+        kernel.tracer.emit(
+            TracePoint.NAPI_POLL, cpu=cpu.core_id, device=napi.name,
+            local_list=[],
+            global_list=softnet.poll_list_names())
+        if processed >= config.napi_budget:
+            break
+
+    # Fig. 7 lines 19-20.
+    if softnet.poll_list:
+        yield costs.softirq_raise_ns
+        cpu.raise_softirq(NET_RX_SOFTIRQ)
+        if processed >= config.napi_budget:
+            cpu.request_softirq_yield()

@@ -1,0 +1,113 @@
+"""A log-bucketed latency histogram (HdrHistogram-style).
+
+Constant memory regardless of sample count, bounded relative error set by
+the per-decade bucket density, mergeable across runs.  Used where full
+sample retention would be wasteful (long background-flow recordings).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["LogHistogram"]
+
+
+class LogHistogram:
+    """Histogram with logarithmically spaced buckets.
+
+    Parameters
+    ----------
+    buckets_per_decade:
+        Resolution; 36 gives ~6.6% worst-case relative error per bucket
+        edge, plenty for latency percentiles.
+    """
+
+    def __init__(self, buckets_per_decade: int = 36) -> None:
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self.buckets_per_decade = buckets_per_decade
+        self._counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def _bucket(self, value: float) -> int:
+        if value <= 0:
+            return -10**9  # dedicated underflow bucket
+        return int(math.floor(math.log10(value) * self.buckets_per_decade))
+
+    def _bucket_midpoint(self, bucket: int) -> float:
+        if bucket == -10**9:
+            return 0.0
+        low = 10 ** (bucket / self.buckets_per_decade)
+        high = 10 ** ((bucket + 1) / self.buckets_per_decade)
+        return (low + high) / 2
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, value: float, count: int = 1) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        bucket = self._bucket(value)
+        self._counts[bucket] = self._counts.get(bucket, 0) + count
+        self.count += count
+        self.total += value * count
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold *other* into this histogram (must match resolution)."""
+        if other.buckets_per_decade != self.buckets_per_decade:
+            raise ValueError("cannot merge histograms with different resolution")
+        for bucket, count in other._counts.items():
+            self._counts[bucket] = self._counts.get(bucket, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.min_value = min(self.min_value, other.min_value)
+            self.max_value = max(self.max_value, other.max_value)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("empty histogram")
+        return self.total / self.count
+
+    def percentile(self, pct: float) -> float:
+        """Approximate percentile (bucket midpoint), clamped to min/max."""
+        if self.count == 0:
+            raise ValueError("empty histogram")
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        threshold = self.count * pct / 100.0
+        seen = 0
+        for bucket in sorted(self._counts):
+            seen += self._counts[bucket]
+            if seen >= threshold:
+                mid = self._bucket_midpoint(bucket)
+                return min(max(mid, self.min_value), self.max_value)
+        return self.max_value
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """(midpoint, count) pairs in ascending value order."""
+        return [(self._bucket_midpoint(b), c)
+                for b, c in sorted(self._counts.items())]
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return "<LogHistogram empty>"
+        return (f"<LogHistogram n={self.count} mean={self.mean:.0f} "
+                f"p99={self.percentile(99):.0f}>")

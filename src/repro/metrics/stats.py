@@ -1,0 +1,87 @@
+"""Latency summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["percentile", "LatencySummary", "summarize_ns"]
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """The *pct*-th percentile (0-100) of *samples* (linear interpolation).
+
+    Raises ValueError on an empty sample set — silently returning 0 would
+    make a broken experiment look infinitely fast.
+    """
+    if len(samples) == 0:
+        raise ValueError("cannot take a percentile of zero samples")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), pct))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """min / avg / median / p99 / p99.9 / max over a latency sample set."""
+
+    count: int
+    min_ns: float
+    avg_ns: float
+    p50_ns: float
+    p90_ns: float
+    p99_ns: float
+    p999_ns: float
+    max_ns: float
+
+    @property
+    def min_us(self) -> float:
+        return self.min_ns / 1_000
+
+    @property
+    def avg_us(self) -> float:
+        return self.avg_ns / 1_000
+
+    @property
+    def p50_us(self) -> float:
+        return self.p50_ns / 1_000
+
+    @property
+    def p90_us(self) -> float:
+        return self.p90_ns / 1_000
+
+    @property
+    def p99_us(self) -> float:
+        return self.p99_ns / 1_000
+
+    @property
+    def p999_us(self) -> float:
+        return self.p999_ns / 1_000
+
+    @property
+    def max_us(self) -> float:
+        return self.max_ns / 1_000
+
+    def __str__(self) -> str:
+        return (f"n={self.count} min={self.min_us:.1f}us avg={self.avg_us:.1f}us "
+                f"p50={self.p50_us:.1f}us p99={self.p99_us:.1f}us "
+                f"max={self.max_us:.1f}us")
+
+
+def summarize_ns(samples: Sequence[float]) -> Optional[LatencySummary]:
+    """Summarize a nanosecond sample set; None when empty."""
+    if len(samples) == 0:
+        return None
+    array = np.asarray(samples, dtype=np.float64)
+    return LatencySummary(
+        count=int(array.size),
+        min_ns=float(array.min()),
+        avg_ns=float(array.mean()),
+        p50_ns=float(np.percentile(array, 50)),
+        p90_ns=float(np.percentile(array, 90)),
+        p99_ns=float(np.percentile(array, 99)),
+        p999_ns=float(np.percentile(array, 99.9)),
+        max_ns=float(array.max()),
+    )

@@ -1,0 +1,85 @@
+"""Windowed time series of simulation measurements.
+
+Used for time-resolved views of an experiment: per-window delivered
+rate, latency percentiles over time, CPU utilization trajectories
+(e.g. watching the system transition into overload in the Fig. 11
+scenarios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.metrics.stats import LatencySummary, summarize_ns
+
+__all__ = ["WindowedSeries", "WindowStats"]
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Aggregates for one time window."""
+
+    start_ns: int
+    end_ns: int
+    count: int
+    rate_per_sec: float
+    latency: Optional[LatencySummary]
+
+
+class WindowedSeries:
+    """Buckets (timestamp, value) samples into fixed windows.
+
+    ``record(at_ns)`` counts an event; ``record(at_ns, value_ns)`` also
+    contributes a latency sample to that window's summary.
+    """
+
+    def __init__(self, window_ns: int, name: str = "") -> None:
+        if window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        self.window_ns = window_ns
+        self.name = name
+        self._counts: Dict[int, int] = {}
+        self._values: Dict[int, List[int]] = {}
+
+    def record(self, at_ns: int, value_ns: Optional[int] = None) -> None:
+        index = at_ns // self.window_ns
+        self._counts[index] = self._counts.get(index, 0) + 1
+        if value_ns is not None:
+            self._values.setdefault(index, []).append(value_ns)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def windows(self) -> List[WindowStats]:
+        """All non-empty windows in time order."""
+        result = []
+        for index in sorted(self._counts):
+            count = self._counts[index]
+            result.append(WindowStats(
+                start_ns=index * self.window_ns,
+                end_ns=(index + 1) * self.window_ns,
+                count=count,
+                rate_per_sec=count * 1e9 / self.window_ns,
+                latency=summarize_ns(self._values.get(index, []))))
+        return result
+
+    def peak_rate_per_sec(self) -> float:
+        """The highest per-window event rate."""
+        if not self._counts:
+            return 0.0
+        return max(self._counts.values()) * 1e9 / self.window_ns
+
+    def rate_series(self) -> List[float]:
+        """Per-window rates, holes included as zero."""
+        if not self._counts:
+            return []
+        low = min(self._counts)
+        high = max(self._counts)
+        return [self._counts.get(index, 0) * 1e9 / self.window_ns
+                for index in range(low, high + 1)]
+
+    def __repr__(self) -> str:
+        return (f"<WindowedSeries {self.name!r} windows={len(self._counts)} "
+                f"total={self.total}>")

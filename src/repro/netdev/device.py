@@ -1,0 +1,76 @@
+"""Base classes for network devices and their per-stage processing.
+
+A :class:`PacketStage` is the unit of work NAPI polling executes for one
+skb in one device's context: it charges CPU time (by yielding nanosecond
+durations) and then either hands the skb to the next stage (via the
+mode-aware stage-transition functions) or delivers it to a socket.
+
+A :class:`NetDevice` is the ``net_device`` analogue: identity (name, MAC,
+IP), an owning network namespace, and a reference to the stage that
+processes packets received *on* this device.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generator, Optional, TYPE_CHECKING
+
+from repro.packet.addr import Ipv4Address, MacAddress
+from repro.packet.skb import SKBuff
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.stack.netns import NetNamespace
+
+__all__ = ["NetDevice", "PacketStage"]
+
+
+class PacketStage(abc.ABC):
+    """One stage of the receive pipeline (runs in softirq context)."""
+
+    #: Short display name used in poll-order traces ("eth", "br", "veth").
+    name: str = "stage"
+
+    @abc.abstractmethod
+    def process(self, skb: SKBuff, softnet) -> Generator[int, None, None]:
+        """Process one skb in the context of *softnet*'s CPU.
+
+        Yields CPU nanoseconds, then transitions the skb to the next
+        stage or delivers it to a socket.
+        """
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class NetDevice:
+    """A network device (``net_device`` analogue)."""
+
+    def __init__(self, name: str, *,
+                 mac: Optional[MacAddress] = None,
+                 ip: Optional[Ipv4Address] = None,
+                 netns: Optional["NetNamespace"] = None,
+                 mtu: int = 1_500) -> None:
+        self.name = name
+        self.mac = mac
+        self.ip = ip
+        self.netns = netns
+        self.mtu = mtu
+        #: Stage that processes packets received on this device; used by
+        #: the shared backlog NAPI to dispatch per-skb.
+        self.rx_stage: Optional[PacketStage] = None
+        #: Counters (mirroring ``ip -s link`` stats).
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+
+    def count_rx(self, skb: SKBuff) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += skb.wire_len
+
+    def count_tx(self, wire_len: int) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += wire_len
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,226 @@
+"""The physical NIC: DMA rings, interrupts, and the driver NAPI poll.
+
+Models the paper's Mellanox ConnectX-5 behaviourally:
+
+- packets arriving from the wire are DMA'd into a bounded rx descriptor
+  ring; when the ring is full, packets are dropped in "hardware";
+- the first packet after quiescence raises a hardware interrupt whose
+  top half schedules the NIC's NAPI and masks further interrupts;
+  ``napi_complete`` unmasks them (the NAPI interrupt/polling dance of
+  paper §II-A);
+- the driver poll allocates an skb per descriptor and — in PRISM modes —
+  classifies its priority right there (``mlx5e_napi_poll``, §IV-A);
+- the rx **ring itself is strictly FCFS**: the paper's §IV-D limitation.
+  Stage-1 priority differentiation is only available through the
+  ``nic_priority_rings`` future-work extension (§VII-1), which models a
+  hardware flow-director steering high-priority flows to a second ring
+  that the poll drains first.
+
+The NIC stage then either decapsulates VXLAN packets toward stage 2 or,
+for host-network traffic, runs the whole protocol stack in this single
+stage (which is why PRISM cannot help host flows — Fig. 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple, TYPE_CHECKING
+
+from repro.kernel.softnet import NapiStruct
+from repro.netdev.device import NetDevice, PacketStage
+from repro.netdev.queues import PacketQueue
+from repro.packet.addr import Ipv4Address, MacAddress
+from repro.packet.packet import Packet, vxlan_decapsulate
+from repro.packet.skb import SKBuff
+from repro.stack.receive import protocol_rcv
+from repro.trace.tracer import TracePoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+    from repro.kernel.softnet import SoftnetData
+    from repro.netdev.vxlan import VxlanDevice
+
+__all__ = ["PhysicalNic", "NicNapi", "NicStage"]
+
+
+class NicStage(PacketStage):
+    """Stage 1: driver rx — VXLAN decap or full host-path processing."""
+
+    name = "eth"
+
+    def __init__(self, nic: "PhysicalNic") -> None:
+        self.nic = nic
+
+    def process(self, skb: SKBuff, softnet: "SoftnetData"
+                ) -> Generator[int, None, None]:
+        kernel = self.nic.kernel
+        costs = kernel.costs
+        packet = skb.packet
+        # Receive packet steering: hand the skb to the flow's CPU before
+        # the heavy protocol work.  Re-entry on the target CPU computes
+        # the same target and proceeds (deterministic hash).  Unlike the
+        # generic stage transition this always *enqueues* (never inline):
+        # the whole point is to run the work elsewhere.
+        if kernel.config.rps_enabled and kernel.rps is not None:
+            target = kernel.rps.target_softnet(packet)
+            if target is not softnet:
+                kernel.rps.steered += 1
+                yield costs.softirq_raise_ns
+                high = kernel.mode.is_prism and kernel.is_high_class(skb)
+                if target.backlog.enqueue(skb, high=high):
+                    # IPI to the remote CPU's NET_RX.
+                    if high:
+                        target.napi_schedule_head(target.backlog)
+                    else:
+                        target.napi_schedule(target.backlog)
+                return
+        if packet.is_vxlan:
+            vxlan_dev = self.nic.vxlan_by_vni.get(packet.vxlan.vni)
+            if vxlan_dev is not None:
+                yield costs.stage_packet_cost(costs.nic_pkt_ns, skb.wire_len)
+                _header, inner = vxlan_decapsulate(packet)
+                skb.packet = inner
+                yield from vxlan_dev.gro_cells_receive(skb, softnet)
+                return
+        # Host network: the entire pipeline is this one stage.
+        yield costs.stage_packet_cost(costs.nic_pkt_ns + costs.veth_pkt_ns,
+                                      skb.wire_len, is_copy_stage=True)
+        if self.nic.netns is not None:
+            protocol_rcv(kernel, self.nic.netns, skb, softnet.cpu)
+
+
+class NicNapi(NapiStruct):
+    """The NIC driver's NAPI context: polls the rx ring(s)."""
+
+    def __init__(self, nic: "PhysicalNic") -> None:
+        super().__init__(nic.name, nic.kernel, stage=NicStage(nic))
+        self.nic = nic
+
+    # The NIC's "queues" are its hardware rings, not skb lists.
+    def has_high(self) -> bool:
+        ring_high = self.nic.ring_high
+        return bool(ring_high) if ring_high is not None else False
+
+    def has_low(self) -> bool:
+        return bool(self.nic.ring)
+
+    def has_packets(self) -> bool:
+        return self.has_high() or self.has_low()
+
+    def poll(self, batch_size: int) -> Generator[int, None, int]:
+        """Driver poll: dequeue descriptors, allocate + classify skbs."""
+        self.polls += 1
+        kernel = self.kernel
+        yield kernel.costs.device_poll_overhead_ns
+        ring = (self.nic.ring_high
+                if self.nic.ring_high is not None and self.nic.ring_high
+                else self.nic.ring)
+        processed = 0
+        while processed < batch_size and ring:
+            arrival, packet = ring.dequeue()
+            skb = SKBuff(packet, dev=self.nic, alloc_time=kernel.sim.now)
+            skb.mark("rx_ring", arrival)
+            skb.mark("skb_alloc", kernel.sim.now)
+            lookup_cost = kernel.classifier.classify(skb, kernel.mode)
+            if lookup_cost:
+                yield lookup_cost
+            kernel.tracer.emit(TracePoint.SKB_ALLOC, device=self.name, skb=skb)
+            yield from self._process_skb(skb)
+            processed += 1
+        self.packets_processed += processed
+        return processed
+
+
+class PhysicalNic(NetDevice):
+    """A physical NIC bound to one CPU (irq affinity)."""
+
+    def __init__(self, kernel: "Kernel", name: str = "eth", *,
+                 mac: MacAddress, ip: Ipv4Address, cpu_id: int = 0) -> None:
+        super().__init__(name, mac=mac, ip=ip)
+        self.kernel = kernel
+        self.cpu_id = cpu_id
+        self.softnet = kernel.softnet_for(cpu_id)
+        config = kernel.config
+        self.ring: PacketQueue[Tuple[int, Packet]] = PacketQueue(
+            config.rx_ring_capacity, f"{name}:ring")
+        self.ring_high: Optional[PacketQueue[Tuple[int, Packet]]] = None
+        if config.nic_priority_rings:
+            self.ring_high = PacketQueue(config.rx_ring_capacity,
+                                         f"{name}:ring-high")
+        self.napi = NicNapi(self)
+        self.napi.softnet = self.softnet
+        self.napi.on_complete = self._on_napi_complete
+        # RPS enqueues NIC skbs to a remote CPU's backlog, which
+        # dispatches by skb.dev.rx_stage — point it at the driver stage.
+        self.rx_stage = self.napi.stage
+        self.irq_enabled = True
+        self.vxlan_by_vni: Dict[int, "VxlanDevice"] = {}
+        # Adaptive interrupt moderation state (mlx5 adaptive-rx model):
+        # at most one rx interrupt per costs.irq_rate_limit_ns window.
+        self._last_irq_at = -(1 << 62)
+        self._irq_timer = None
+
+    def register_vxlan(self, vxlan_dev: "VxlanDevice") -> None:
+        """Route VXLAN packets with this device's VNI to it."""
+        self.vxlan_by_vni[vxlan_dev.vni] = vxlan_dev
+
+    # ------------------------------------------------------------------
+    # Wire side ("hardware")
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """A packet arrives from the wire: DMA into the rx ring."""
+        self.rx_packets += 1
+        self.rx_bytes += packet.wire_len
+        ring = self._hardware_steer(packet)
+        if not ring.enqueue((self.kernel.sim.now, packet)):
+            self.kernel.count_drop(ring.name)
+            self.kernel.tracer.emit(TracePoint.DROP, queue=ring.name, skb=None)
+            return
+        self._maybe_interrupt()
+
+    def _hardware_steer(self, packet: Packet) -> PacketQueue:
+        """Pick the rx ring (flow-director model for the §VII-1 extension)."""
+        if self.ring_high is None:
+            return self.ring
+        level = self.kernel.priority_db.classify_packet(packet)
+        max_level = self.kernel.config.high_priority_max_level
+        if level is not None and level <= max_level:
+            return self.ring_high
+        return self.ring
+
+    def _maybe_interrupt(self) -> None:
+        """Raise the rx interrupt, subject to adaptive moderation.
+
+        A packet after a quiet period interrupts immediately; within the
+        moderation window the interrupt is deferred to the window edge so
+        bursts coalesce into one NAPI batch (adaptive-rx behaviour).
+        """
+        if not self.irq_enabled or self.napi.scheduled:
+            return
+        now = self.kernel.sim.now
+        window = self.kernel.costs.irq_rate_limit_ns
+        if now - self._last_irq_at >= window:
+            self._fire_irq()
+        elif self._irq_timer is None:
+            fire_at = self._last_irq_at + window
+            self._irq_timer = self.kernel.sim.schedule_at(
+                fire_at, self._irq_timer_fired)
+
+    def _irq_timer_fired(self) -> None:
+        self._irq_timer = None
+        if self.irq_enabled and not self.napi.scheduled and self.napi.has_packets():
+            self._fire_irq()
+
+    def _fire_irq(self) -> None:
+        self._last_irq_at = self.kernel.sim.now
+        self.irq_enabled = False  # NIC masks its irq while scheduled
+        cpu = self.kernel.cpu(self.cpu_id)
+        cpu.hardirq(lambda: self.softnet.napi_schedule(self.napi))
+
+    def _on_napi_complete(self) -> None:
+        """napi_complete: re-arm the interrupt; catch missed arrivals."""
+        self.irq_enabled = True
+        if self.napi.has_packets():
+            self._maybe_interrupt()
+
+    def __repr__(self) -> str:
+        return f"<PhysicalNic {self.name!r} ring={len(self.ring)}>"

@@ -1,0 +1,74 @@
+"""Bounded packet queues with drop accounting.
+
+Used for NIC rx rings, per-device NAPI input queues, the per-CPU backlog,
+and socket receive buffers.  A full queue drops at the tail (the kernel's
+behaviour for all of these) and counts the drop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["PacketQueue"]
+
+
+class PacketQueue(Generic[T]):
+    """A bounded FIFO of packets/skbs with enqueue-drop accounting."""
+
+    def __init__(self, capacity: int, name: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+
+    def enqueue(self, item: T) -> bool:
+        """Append *item*; returns False (and counts a drop) when full."""
+        if len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        self.enqueued += 1
+        return True
+
+    def dequeue(self) -> T:
+        """Pop the head.  Raises IndexError when empty."""
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        """The head item without removing it, or None when empty."""
+        return self._items[0] if self._items else None
+
+    def tail(self) -> Optional[T]:
+        """The tail item without removing it, or None when empty.
+
+        Used by GRO to coalesce into the most recently enqueued skb.
+        """
+        return self._items[-1] if self._items else None
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (f"<PacketQueue{label} {len(self._items)}/{self.capacity} "
+                f"dropped={self.dropped}>")

@@ -1,0 +1,34 @@
+"""The two-host container-overlay testbed (paper §V-A).
+
+- :mod:`~repro.overlay.network` — the point-to-point wire and the
+  coarse-grained remote (client) machine;
+- :mod:`~repro.overlay.host` — a fully simulated server host: kernel,
+  CPUs, physical NIC, root namespace, egress path;
+- :mod:`~repro.overlay.container` — containers: namespace + veth pair +
+  socket/thread helpers;
+- :mod:`~repro.overlay.topology` — the VXLAN overlay fabric: bridge,
+  vxlan device, container registration, encapsulation info (the Docker
+  overlay control plane's job).
+"""
+
+from repro.overlay.container import Container
+from repro.overlay.host import Host
+from repro.overlay.network import RemoteContainer, RemoteHost, Wire
+from repro.overlay.topology import (
+    HostOverlay,
+    OverlayEndpoint,
+    OverlayNetwork,
+    register_remote_container,
+)
+
+__all__ = [
+    "Container",
+    "Host",
+    "HostOverlay",
+    "OverlayEndpoint",
+    "OverlayNetwork",
+    "RemoteContainer",
+    "RemoteHost",
+    "Wire",
+    "register_remote_container",
+]

@@ -1,0 +1,95 @@
+"""A fully simulated server host."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.kernel.config import KernelConfig
+from repro.kernel.core import Kernel
+from repro.kernel.costs import CostModel
+from repro.kernel.cpu import UserThread
+from repro.netdev.nic import PhysicalNic
+from repro.overlay.network import Wire
+from repro.packet.addr import Ipv4Address, MacAddress
+from repro.packet.packet import Packet
+from repro.sim.engine import Simulator
+from repro.stack.egress import EgressPath
+from repro.stack.netns import NetNamespace
+from repro.stack.sockets import UdpSocket
+from repro.stack.tcp import TcpEndpoint
+from repro.trace.tracer import Tracer
+
+__all__ = ["Host"]
+
+
+class Host:
+    """A server machine: kernel + CPUs + NIC + root namespace + egress.
+
+    The paper's setup dedicates CPU 0 to packet processing (NIC irq
+    affinity) and runs applications on other cores; that is the default
+    here (``nic_cpu=0``, apps usually spawned on core 1).
+    """
+
+    def __init__(self, sim: Simulator, *,
+                 name: str = "server",
+                 ip: Ipv4Address, mac: MacAddress,
+                 costs: Optional[CostModel] = None,
+                 config: Optional[KernelConfig] = None,
+                 tracer: Optional[Tracer] = None,
+                 n_cpus: int = 2,
+                 nic_cpu: int = 0) -> None:
+        self.sim = sim
+        self.name = name
+        self.ip = ip
+        self.mac = mac
+        self.kernel = Kernel(sim, costs=costs, config=config, tracer=tracer,
+                             n_cpus=n_cpus, name=name)
+        self.root_netns = NetNamespace(f"{name}/root")
+        self.nic = PhysicalNic(self.kernel, "eth", mac=mac, ip=ip,
+                               cpu_id=nic_cpu)
+        self.root_netns.add_device(self.nic)
+        self.wire: Optional[Wire] = None
+        self.egress = EgressPath(self.kernel, self._transmit)
+
+    # ------------------------------------------------------------------
+    # Wire endpoint interface
+    # ------------------------------------------------------------------
+    def attach_wire(self, wire: Wire) -> None:
+        self.wire = wire
+
+    def receive(self, packet: Packet) -> None:
+        self.nic.receive(packet)
+
+    def _transmit(self, packet: Packet) -> None:
+        if self.wire is None:
+            raise RuntimeError(f"{self.name}: no wire attached")
+        self.wire.transmit(packet, sender=self)
+
+    # ------------------------------------------------------------------
+    # Convenience: host-network sockets and threads
+    # ------------------------------------------------------------------
+    def udp_socket(self, port: int, *, core_id: int = 1,
+                   bind_ip: Optional[Ipv4Address] = None) -> UdpSocket:
+        """Bind a UDP socket in the host (root) namespace."""
+        socket = UdpSocket(self.kernel, self.root_netns,
+                           bind_ip, port,
+                           owner_core=self.kernel.cpu(core_id))
+        self.root_netns.sockets.bind_udp(socket)
+        return socket
+
+    def tcp_endpoint(self, port: int, *, core_id: int = 1,
+                     bind_ip: Optional[Ipv4Address] = None) -> TcpEndpoint:
+        """Bind a TCP endpoint in the host (root) namespace."""
+        endpoint = TcpEndpoint(self.kernel, self.root_netns,
+                               bind_ip, port,
+                               owner_core=self.kernel.cpu(core_id))
+        self.root_netns.sockets.bind_tcp(endpoint)
+        return endpoint
+
+    def spawn(self, generator: Generator, *, core_id: int = 1,
+              name: str = "") -> UserThread:
+        """Start an application thread on the given core."""
+        return self.kernel.cpu(core_id).spawn(generator, name=name)
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name!r} {self.ip} mode={self.kernel.mode}>"

@@ -1,0 +1,34 @@
+"""The Internet checksum (RFC 1071).
+
+Used to validate that header serialization is self-consistent; the
+simulator computes real checksums over the serialized headers so that
+corruption-injection tests have something to detect.
+"""
+
+from __future__ import annotations
+
+__all__ = ["internet_checksum", "verify_checksum"]
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement Internet checksum of *data*.
+
+    Odd-length input is zero-padded on the right, per RFC 1071.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True if *data* (which embeds its checksum field) sums to zero.
+
+    The one's-complement sum of a block that includes a correct checksum
+    is 0xFFFF, so the complement is zero.
+    """
+    return internet_checksum(data) == 0

@@ -1,0 +1,192 @@
+"""Protocol header dataclasses.
+
+Each header knows its wire length and can serialize itself to bytes (used
+by the checksum code and by tests that assert wire-format consistency).
+Headers are immutable; "mutation" during processing (e.g. TTL decrement)
+creates a new header via :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.packet.addr import Ipv4Address, MacAddress
+from repro.packet.checksum import internet_checksum
+
+__all__ = [
+    "ETHERTYPE_IPV4",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "VXLAN_PORT",
+    "EthernetHeader",
+    "IPv4Header",
+    "UdpHeader",
+    "TcpHeader",
+    "VxlanHeader",
+    "TCP_FLAG_SYN",
+    "TCP_FLAG_ACK",
+    "TCP_FLAG_FIN",
+    "TCP_FLAG_PSH",
+]
+
+#: EtherType for IPv4.
+ETHERTYPE_IPV4 = 0x0800
+#: IP protocol numbers.
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+#: IANA-assigned VXLAN UDP destination port (RFC 7348).
+VXLAN_PORT = 4789
+
+TCP_FLAG_FIN = 0x01
+TCP_FLAG_SYN = 0x02
+TCP_FLAG_PSH = 0x08
+TCP_FLAG_ACK = 0x10
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    """An Ethernet II frame header (14 bytes)."""
+
+    src: MacAddress
+    dst: MacAddress
+    ethertype: int = ETHERTYPE_IPV4
+
+    LENGTH = 14
+
+    @property
+    def length(self) -> int:
+        return self.LENGTH
+
+    def to_bytes(self) -> bytes:
+        return (self.dst.to_bytes() + self.src.to_bytes()
+                + self.ethertype.to_bytes(2, "big"))
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """An IPv4 header (20 bytes, no options)."""
+
+    src: Ipv4Address
+    dst: Ipv4Address
+    protocol: int
+    total_length: int = 0
+    ttl: int = 64
+    identification: int = 0
+    flags_fragment: int = 0
+
+    LENGTH = 20
+
+    @property
+    def length(self) -> int:
+        return self.LENGTH
+
+    def decrement_ttl(self) -> "IPv4Header":
+        """Return a copy with TTL reduced by one (raises at zero)."""
+        if self.ttl <= 0:
+            raise ValueError("TTL already zero")
+        return dataclasses.replace(self, ttl=self.ttl - 1)
+
+    def to_bytes(self) -> bytes:
+        """Serialize with a correct header checksum."""
+        version_ihl = (4 << 4) | 5
+        without_checksum = (
+            bytes([version_ihl, 0])
+            + self.total_length.to_bytes(2, "big")
+            + self.identification.to_bytes(2, "big")
+            + self.flags_fragment.to_bytes(2, "big")
+            + bytes([self.ttl, self.protocol])
+            + b"\x00\x00"  # checksum placeholder
+            + self.src.to_bytes()
+            + self.dst.to_bytes()
+        )
+        checksum = internet_checksum(without_checksum)
+        return without_checksum[:10] + checksum.to_bytes(2, "big") + without_checksum[12:]
+
+
+@dataclass(frozen=True)
+class UdpHeader:
+    """A UDP header (8 bytes)."""
+
+    src_port: int
+    dst_port: int
+    payload_length: int = 0
+
+    LENGTH = 8
+
+    @property
+    def length(self) -> int:
+        return self.LENGTH
+
+    @property
+    def total_length(self) -> int:
+        """UDP length field: header plus payload."""
+        return self.LENGTH + self.payload_length
+
+    def to_bytes(self) -> bytes:
+        return (self.src_port.to_bytes(2, "big")
+                + self.dst_port.to_bytes(2, "big")
+                + self.total_length.to_bytes(2, "big")
+                + b"\x00\x00")
+
+
+@dataclass(frozen=True)
+class TcpHeader:
+    """A TCP header (20 bytes, no options).
+
+    The simulator's TCP is a simplified in-order stream (see
+    :mod:`repro.stack.tcp`); sequence numbers are byte offsets and the
+    flags are the standard bits.
+    """
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = TCP_FLAG_ACK
+    window: int = 65535
+
+    LENGTH = 20
+
+    @property
+    def length(self) -> int:
+        return self.LENGTH
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & TCP_FLAG_SYN)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & TCP_FLAG_FIN)
+
+    def to_bytes(self) -> bytes:
+        data_offset = (5 << 4)
+        return (self.src_port.to_bytes(2, "big")
+                + self.dst_port.to_bytes(2, "big")
+                + (self.seq & 0xFFFFFFFF).to_bytes(4, "big")
+                + (self.ack & 0xFFFFFFFF).to_bytes(4, "big")
+                + bytes([data_offset, self.flags & 0xFF])
+                + self.window.to_bytes(2, "big")
+                + b"\x00\x00\x00\x00")
+
+
+@dataclass(frozen=True)
+class VxlanHeader:
+    """A VXLAN header (8 bytes) carrying a 24-bit VNI (RFC 7348)."""
+
+    vni: int
+
+    LENGTH = 8
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vni < (1 << 24):
+            raise ValueError(f"VNI out of range: {self.vni}")
+
+    @property
+    def length(self) -> int:
+        return self.LENGTH
+
+    def to_bytes(self) -> bytes:
+        flags = 0x08  # I-flag: VNI valid
+        return bytes([flags, 0, 0, 0]) + (self.vni << 8).to_bytes(4, "big")

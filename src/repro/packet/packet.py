@@ -1,0 +1,222 @@
+"""The wire-level packet and VXLAN encapsulation helpers.
+
+A :class:`Packet` is an ordered stack of headers (outermost first) plus an
+opaque payload with a byte length.  A VXLAN-encapsulated container packet
+therefore looks like::
+
+    [Ethernet, IPv4, UDP(dport=4789), VXLAN, Ethernet, IPv4, UDP] + payload
+
+which is exactly the on-wire layout of the Docker overlay traffic the paper
+evaluates (RFC 7348 framing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple, Union
+
+from repro.packet.addr import Ipv4Address, MacAddress
+from repro.packet.flow import FlowKey
+from repro.packet.headers import (
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    VXLAN_PORT,
+    EthernetHeader,
+    IPv4Header,
+    TcpHeader,
+    UdpHeader,
+    VxlanHeader,
+)
+
+__all__ = ["Packet", "vxlan_encapsulate", "vxlan_decapsulate", "NotVxlanError"]
+
+Header = Union[EthernetHeader, IPv4Header, UdpHeader, TcpHeader, VxlanHeader]
+
+_packet_ids = itertools.count(1)
+
+
+class NotVxlanError(ValueError):
+    """Raised when decapsulating a packet that is not VXLAN-encapsulated."""
+
+
+@dataclass
+class Packet:
+    """A packet on the wire: a header stack (outermost first) + payload.
+
+    Attributes
+    ----------
+    headers:
+        Tuple of header dataclasses, outermost first.
+    payload:
+        Opaque application object (e.g. an app-level request record).
+    payload_len:
+        Payload size in bytes; the simulator charges per-byte costs
+        against ``wire_len`` but never copies real buffers.
+    created_at:
+        Virtual timestamp (ns) when the original sender emitted the
+        packet; used for end-to-end latency measurement.
+    """
+
+    headers: Tuple[Header, ...]
+    payload: Any = None
+    payload_len: int = 0
+    created_at: Optional[int] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        self.headers = tuple(self.headers)
+        if self.payload_len < 0:
+            raise ValueError("payload_len must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def header_len(self) -> int:
+        """Total bytes of all headers."""
+        return sum(h.length for h in self.headers)
+
+    @property
+    def wire_len(self) -> int:
+        """Total on-wire bytes (headers + payload)."""
+        return self.header_len + self.payload_len
+
+    # ------------------------------------------------------------------
+    # Layer accessors (outermost occurrence of each layer)
+    # ------------------------------------------------------------------
+    @property
+    def eth(self) -> Optional[EthernetHeader]:
+        return self._first(EthernetHeader)
+
+    @property
+    def ip(self) -> Optional[IPv4Header]:
+        return self._first(IPv4Header)
+
+    @property
+    def l4(self) -> Optional[Union[UdpHeader, TcpHeader]]:
+        for header in self.headers:
+            if isinstance(header, (UdpHeader, TcpHeader)):
+                return header
+        return None
+
+    def _first(self, kind: type) -> Any:
+        for header in self.headers:
+            if isinstance(header, kind):
+                return header
+        return None
+
+    def _last(self, kind: type) -> Any:
+        for header in reversed(self.headers):
+            if isinstance(header, kind):
+                return header
+        return None
+
+    # ------------------------------------------------------------------
+    # Innermost layers (the application-level view of an encapsulated
+    # packet; equal to the outer layers for a plain packet)
+    # ------------------------------------------------------------------
+    @property
+    def inner_ip(self) -> Optional[IPv4Header]:
+        return self._last(IPv4Header)
+
+    @property
+    def inner_l4(self) -> Optional[Union[UdpHeader, TcpHeader]]:
+        for header in reversed(self.headers):
+            if isinstance(header, (UdpHeader, TcpHeader)):
+                return header
+        return None
+
+    def inner_flow_key(self) -> Optional[FlowKey]:
+        """5-tuple of the *innermost* IP/L4 layers, or None if not IP."""
+        ip = self.inner_ip
+        l4 = self.inner_l4
+        if ip is None or l4 is None:
+            return None
+        protocol = IPPROTO_UDP if isinstance(l4, UdpHeader) else 6
+        return FlowKey(ip.src, ip.dst, l4.src_port, l4.dst_port, protocol)
+
+    @property
+    def is_vxlan(self) -> bool:
+        """True if the outer UDP targets the VXLAN port with a VXLAN header."""
+        l4 = self.l4
+        return (isinstance(l4, UdpHeader)
+                and l4.dst_port == VXLAN_PORT
+                and self._first(VxlanHeader) is not None)
+
+    @property
+    def vxlan(self) -> Optional[VxlanHeader]:
+        """The VXLAN header, if any."""
+        return self._first(VxlanHeader)
+
+    def flow_key(self) -> Optional[FlowKey]:
+        """5-tuple of the *outermost* IP/L4 layers, or None if not IP."""
+        ip = self.ip
+        l4 = self.l4
+        if ip is None or l4 is None:
+            return None
+        protocol = IPPROTO_UDP if isinstance(l4, UdpHeader) else 6
+        return FlowKey(ip.src, ip.dst, l4.src_port, l4.dst_port, protocol)
+
+    def __repr__(self) -> str:
+        layers = "/".join(type(h).__name__.replace("Header", "") for h in self.headers)
+        return f"<Packet #{self.packet_id} {layers} len={self.wire_len}>"
+
+
+def _sized_udp(udp: UdpHeader, payload_len: int) -> UdpHeader:
+    return dataclasses.replace(udp, payload_length=payload_len)
+
+
+def vxlan_encapsulate(inner: Packet, vni: int, *,
+                      outer_src_mac: MacAddress, outer_dst_mac: MacAddress,
+                      outer_src_ip: Ipv4Address, outer_dst_ip: Ipv4Address,
+                      src_port: Optional[int] = None) -> Packet:
+    """Wrap *inner* in a VXLAN envelope (outer Ethernet/IPv4/UDP/VXLAN).
+
+    The outer UDP source port defaults to a hash of the inner flow
+    (standard VXLAN entropy for ECMP); the destination port is the IANA
+    VXLAN port 4789.
+    """
+    vxlan = VxlanHeader(vni=vni)
+    inner_len = inner.wire_len + vxlan.LENGTH
+    if src_port is None:
+        inner_key = inner.flow_key()
+        src_port = 49152 + ((hash(inner_key) if inner_key else inner.packet_id) & 0x3FFF)
+    udp = UdpHeader(src_port=src_port, dst_port=VXLAN_PORT, payload_length=inner_len)
+    ip_total = IPv4Header.LENGTH + udp.total_length
+    ip = IPv4Header(src=outer_src_ip, dst=outer_dst_ip, protocol=IPPROTO_UDP,
+                    total_length=ip_total)
+    eth = EthernetHeader(src=outer_src_mac, dst=outer_dst_mac,
+                         ethertype=ETHERTYPE_IPV4)
+    return Packet(
+        headers=(eth, ip, udp, vxlan) + inner.headers,
+        payload=inner.payload,
+        payload_len=inner.payload_len,
+        created_at=inner.created_at,
+        packet_id=inner.packet_id,
+    )
+
+
+def vxlan_decapsulate(packet: Packet) -> Tuple[VxlanHeader, Packet]:
+    """Strip the outer Ethernet/IPv4/UDP/VXLAN envelope.
+
+    Returns the VXLAN header (for VNI-based forwarding) and the inner
+    packet.  Raises :class:`NotVxlanError` if the packet is not VXLAN.
+    """
+    if not packet.is_vxlan:
+        raise NotVxlanError(f"{packet!r} is not a VXLAN packet")
+    for index, header in enumerate(packet.headers):
+        if isinstance(header, VxlanHeader):
+            inner_headers = packet.headers[index + 1:]
+            if not inner_headers:
+                raise NotVxlanError(f"{packet!r} has an empty VXLAN payload")
+            inner = Packet(
+                headers=inner_headers,
+                payload=packet.payload,
+                payload_len=packet.payload_len,
+                created_at=packet.created_at,
+                packet_id=packet.packet_id,
+            )
+            return header, inner
+    raise NotVxlanError(f"{packet!r} has no VXLAN header")

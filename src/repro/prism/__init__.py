@@ -1,0 +1,32 @@
+"""PRISM — the paper's primary contribution.
+
+Priority-based streamlined packet processing for multi-stage kernel
+pipelines:
+
+- :mod:`~repro.prism.mode` — the three operating modes the paper
+  evaluates: ``VANILLA``, ``PRISM_BATCH``, ``PRISM_SYNC``;
+- :mod:`~repro.prism.priority_db` — the global user-configurable database
+  of high-priority (IP, port) rules (§IV-A), including the multi-level
+  generalization of §VII-3;
+- :mod:`~repro.prism.procfs` — the ``/proc`` style runtime configuration
+  interface the paper exposes;
+- :mod:`~repro.prism.classifier` — per-skb priority stamping at skb
+  allocation time in the physical driver;
+- :mod:`~repro.prism.stage_transition` — the modified stage-transition
+  functions (``gro_cells_receive`` / ``netif_rx``) that implement
+  head-of-list insertion, dual-queue enqueueing, and PRISM-sync
+  run-to-completion (§IV-C).
+"""
+
+from repro.prism.classifier import PriorityClassifier
+from repro.prism.mode import StackMode
+from repro.prism.priority_db import PriorityDatabase, PriorityRule
+from repro.prism.procfs import ProcFs
+
+__all__ = [
+    "PriorityClassifier",
+    "PriorityDatabase",
+    "PriorityRule",
+    "ProcFs",
+    "StackMode",
+]

@@ -1,0 +1,56 @@
+"""Per-skb priority classification (paper §IV-A).
+
+The classifier runs exactly once per packet, at skb allocation time inside
+the physical driver's poll function (``mlx5e_napi_poll`` in the paper's
+testbed).  The result is stamped into the skb's priority field so no later
+stage re-computes it.
+
+In VANILLA mode the classifier is inert: skbs stay unclassified and are
+treated as low priority everywhere, and no lookup cost is charged —
+matching an unpatched kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.costs import CostModel
+from repro.packet.skb import SKBuff
+from repro.prism.mode import StackMode
+from repro.prism.priority_db import PriorityDatabase
+
+__all__ = ["PriorityClassifier"]
+
+
+class PriorityClassifier:
+    """Stamps skb priorities against the global database."""
+
+    def __init__(self, db: PriorityDatabase, costs: CostModel) -> None:
+        self.db = db
+        self.costs = costs
+        self.classified_high = 0
+        self.classified_low = 0
+
+    def classify(self, skb: SKBuff, mode: StackMode) -> int:
+        """Classify *skb*; returns the CPU cost (ns) of the lookup.
+
+        Idempotent per skb (the paper adds the bit to ``sk_buff``
+        precisely to avoid re-computation).
+        """
+        if mode is StackMode.VANILLA:
+            return 0
+        if skb.classified:
+            return 0
+        level: Optional[int] = self.db.classify_packet(skb.packet)
+        if level is None:
+            # No rule matched: best effort, one level below the lowest
+            # configured rule (or simply "low" for the binary case).
+            lowest = max((rule.level for rule in self.db.rules), default=0)
+            level = lowest + 1
+            self.classified_low += 1
+        elif level == 0:
+            self.classified_high += 1
+        else:
+            self.classified_low += 1
+        skb.classify(level)
+        return self.costs.priority_lookup_ns

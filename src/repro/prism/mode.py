@@ -1,0 +1,50 @@
+"""PRISM operating modes.
+
+The paper evaluates three configurations of the receive path:
+
+- **VANILLA** — the unmodified kernel: two poll lists per CPU (global +
+  local), strict tail enqueueing, one FIFO input queue per device
+  (paper Fig. 2 / Fig. 4a-b).
+- **PRISM_BATCH** — single poll list, two input queues per device,
+  high-priority devices inserted at the *head* of the poll list,
+  batch-level preemption (paper Fig. 7 / Fig. 4c-d, §III-B2).
+- **PRISM_SYNC** — as PRISM_BATCH, but high-priority packets are processed
+  run-to-completion through all stages within a single softirq, bypassing
+  the per-stage queues entirely (§III-B1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["StackMode"]
+
+
+class StackMode(enum.Enum):
+    """Receive-path configuration."""
+
+    VANILLA = "vanilla"
+    PRISM_BATCH = "prism-batch"
+    PRISM_SYNC = "prism-sync"
+
+    @property
+    def is_prism(self) -> bool:
+        """True for either PRISM mode."""
+        return self is not StackMode.VANILLA
+
+    @classmethod
+    def parse(cls, text: str) -> "StackMode":
+        """Parse a mode name as used on the bench command line / procfs."""
+        normalized = text.strip().lower().replace("_", "-")
+        for mode in cls:
+            if mode.value == normalized:
+                return mode
+        aliases = {"batch": cls.PRISM_BATCH, "sync": cls.PRISM_SYNC,
+                   "prism": cls.PRISM_SYNC}
+        if normalized in aliases:
+            return aliases[normalized]
+        raise ValueError(f"unknown stack mode {text!r}; "
+                         f"expected one of {[m.value for m in cls]}")
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,149 @@
+"""The global high-priority flow database (paper §IV-A).
+
+PRISM keeps a kernel-global database of (IP, port) pairs that mark
+high-priority flows, configurable at runtime through procfs.  Each
+incoming packet's addresses/ports are checked against the database when
+its skb is first allocated in the physical driver.
+
+The paper's prototype is binary (high/low).  This implementation also
+supports the multi-level generalization sketched in §VII-3: every rule
+carries a level (0 = highest priority); packets matching no rule get the
+lowest level in use plus one (i.e. best-effort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.packet.addr import Ipv4Address
+from repro.packet.packet import Packet
+from repro.packet.skb import PRIORITY_HIGH
+
+__all__ = ["PriorityRule", "PriorityDatabase"]
+
+
+@dataclass(frozen=True)
+class PriorityRule:
+    """One entry: match an (ip, port) endpoint, assign a priority level.
+
+    ``ip=None`` or ``port=None`` are wildcards.  A packet matches if
+    *either* its source or destination endpoint matches, so a single rule
+    covers both directions of a flow (the paper marks flows by service
+    endpoint).
+    """
+
+    ip: Optional[Ipv4Address] = None
+    port: Optional[int] = None
+    level: int = PRIORITY_HIGH
+
+    def __post_init__(self) -> None:
+        if self.ip is None and self.port is None:
+            raise ValueError("a PriorityRule needs an ip, a port, or both")
+        if self.port is not None and not 0 < self.port < 65536:
+            raise ValueError(f"invalid port {self.port}")
+        if self.level < 0:
+            raise ValueError(f"invalid priority level {self.level}")
+
+    def matches_endpoint(self, ip: Ipv4Address, port: int) -> bool:
+        if self.ip is not None and self.ip != ip:
+            return False
+        if self.port is not None and self.port != port:
+            return False
+        return True
+
+
+class PriorityDatabase:
+    """Runtime-configurable priority rules with O(1) exact-match lookup.
+
+    Lookups are indexed by (ip, port), (ip, None) and (None, port) keys so
+    the per-packet check stays a few dict probes — mirroring the cheap
+    hash lookup the paper's in-kernel database does.
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[Tuple[Optional[int], Optional[int]], int] = {}
+        self._rules: List[PriorityRule] = []
+        self.lookups = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add(self, rule: PriorityRule) -> None:
+        """Install a rule (later rules win on exact key collision)."""
+        self._rules.append(rule)
+        self._index[self._key(rule.ip, rule.port)] = rule.level
+
+    def add_endpoint(self, ip: Optional[object] = None,
+                     port: Optional[int] = None,
+                     level: int = PRIORITY_HIGH) -> PriorityRule:
+        """Convenience: build and install a rule from loose arguments."""
+        addr = Ipv4Address(ip) if ip is not None else None
+        rule = PriorityRule(ip=addr, port=port, level=level)
+        self.add(rule)
+        return rule
+
+    def remove(self, rule: PriorityRule) -> bool:
+        """Remove a previously added rule.  Returns False if absent."""
+        if rule not in self._rules:
+            return False
+        self._rules.remove(rule)
+        self._rebuild()
+        return True
+
+    def clear(self) -> None:
+        self._rules.clear()
+        self._index.clear()
+
+    def _rebuild(self) -> None:
+        self._index.clear()
+        for rule in self._rules:
+            self._index[self._key(rule.ip, rule.port)] = rule.level
+
+    @staticmethod
+    def _key(ip: Optional[Ipv4Address], port: Optional[int]
+             ) -> Tuple[Optional[int], Optional[int]]:
+        return (ip.value if ip is not None else None, port)
+
+    @property
+    def rules(self) -> List[PriorityRule]:
+        return list(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def endpoint_level(self, ip: Ipv4Address, port: int) -> Optional[int]:
+        """Priority level for one endpoint, or None if no rule matches."""
+        for key in ((ip.value, port), (ip.value, None), (None, port)):
+            level = self._index.get(key)
+            if level is not None:
+                return level
+        return None
+
+    def classify_packet(self, packet: Packet) -> Optional[int]:
+        """Best (lowest) matching level over both endpoints, or None.
+
+        Checks the packet's *innermost* IP/UDP|TCP layers — priorities are
+        application-level, so for an encapsulated packet the container
+        addresses are what the rules refer to.  (The paper classifies in
+        the driver poll, where the VXLAN envelope is already parsed.)
+        """
+        self.lookups += 1
+        if not self._index:
+            return None
+        ip = packet.inner_ip
+        l4 = packet.inner_l4
+        if ip is None or l4 is None:
+            return None
+        levels = [
+            self.endpoint_level(ip.src, l4.src_port),
+            self.endpoint_level(ip.dst, l4.dst_port),
+        ]
+        matched = [level for level in levels if level is not None]
+        return min(matched) if matched else None
+
+    def __repr__(self) -> str:
+        return f"<PriorityDatabase rules={len(self._rules)}>"

@@ -1,0 +1,136 @@
+"""A tiny ``/proc`` filesystem emulation for PRISM runtime configuration.
+
+The paper's prototype exposes two proc interfaces (§IV-A):
+
+- a file to add/remove high-priority (IP, port) pairs at runtime, and
+- a binary variable selecting PRISM-sync vs PRISM-batch mode.
+
+This module models them as string read/write endpoints so examples and
+tests can drive the system exactly the way an operator would:
+
+>>> procfs.write("/proc/prism/priority", "add 10.0.0.2 11111")
+>>> procfs.write("/proc/prism/mode", "sync")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.packet.skb import PRIORITY_HIGH
+from repro.prism.mode import StackMode
+from repro.prism.priority_db import PriorityDatabase
+
+__all__ = ["ProcFs", "ProcFsError"]
+
+
+class ProcFsError(ValueError):
+    """Raised for malformed writes or unknown paths."""
+
+
+class ProcFs:
+    """String-based runtime configuration endpoints, procfs style."""
+
+    PRIORITY_PATH = "/proc/prism/priority"
+    MODE_PATH = "/proc/prism/mode"
+
+    def __init__(self, priority_db: PriorityDatabase,
+                 get_mode: Callable[[], StackMode],
+                 set_mode: Callable[[StackMode], None]) -> None:
+        self._db = priority_db
+        self._get_mode = get_mode
+        self._set_mode = set_mode
+        self._writers: Dict[str, Callable[[str], None]] = {
+            self.PRIORITY_PATH: self._write_priority,
+            self.MODE_PATH: self._write_mode,
+        }
+        self._readers: Dict[str, Callable[[], str]] = {
+            self.PRIORITY_PATH: self._read_priority,
+            self.MODE_PATH: self._read_mode,
+        }
+
+    # ------------------------------------------------------------------
+    # Filesystem-ish API
+    # ------------------------------------------------------------------
+    def write(self, path: str, data: str) -> None:
+        writer = self._writers.get(path)
+        if writer is None:
+            raise ProcFsError(f"no such proc entry: {path}")
+        writer(data)
+
+    def read(self, path: str) -> str:
+        reader = self._readers.get(path)
+        if reader is None:
+            raise ProcFsError(f"no such proc entry: {path}")
+        return reader()
+
+    def paths(self) -> list:
+        """All registered proc entries."""
+        return sorted(self._writers)
+
+    # ------------------------------------------------------------------
+    # /proc/prism/priority
+    # ------------------------------------------------------------------
+    def _write_priority(self, data: str) -> None:
+        """Commands: ``add <ip|*> <port|*> [level]``, ``del ...``, ``clear``."""
+        for line in data.strip().splitlines():
+            tokens = line.split()
+            if not tokens:
+                continue
+            command = tokens[0].lower()
+            if command == "clear":
+                self._db.clear()
+                continue
+            if command not in ("add", "del"):
+                raise ProcFsError(f"unknown priority command {command!r}")
+            if len(tokens) < 3:
+                raise ProcFsError(f"usage: {command} <ip|*> <port|*> [level]")
+            ip = None if tokens[1] == "*" else tokens[1]
+            port = None if tokens[2] == "*" else self._parse_port(tokens[2])
+            level = PRIORITY_HIGH
+            if len(tokens) > 3:
+                level = self._parse_level(tokens[3])
+            if command == "add":
+                self._db.add_endpoint(ip=ip, port=port, level=level)
+            else:
+                removed = False
+                for rule in self._db.rules:
+                    ip_text = str(rule.ip) if rule.ip is not None else "*"
+                    port_value = rule.port
+                    if ip_text == (ip or "*") and port_value == port and rule.level == level:
+                        removed = self._db.remove(rule)
+                        break
+                if not removed:
+                    raise ProcFsError(f"no such rule: {line.strip()!r}")
+
+    @staticmethod
+    def _parse_port(text: str) -> int:
+        if not text.isdigit():
+            raise ProcFsError(f"invalid port {text!r}")
+        return int(text)
+
+    @staticmethod
+    def _parse_level(text: str) -> int:
+        if not text.isdigit():
+            raise ProcFsError(f"invalid level {text!r}")
+        return int(text)
+
+    def _read_priority(self) -> str:
+        lines = []
+        for rule in self._db.rules:
+            ip = str(rule.ip) if rule.ip is not None else "*"
+            port = str(rule.port) if rule.port is not None else "*"
+            lines.append(f"{ip} {port} {rule.level}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # /proc/prism/mode
+    # ------------------------------------------------------------------
+    def _write_mode(self, data: str) -> None:
+        try:
+            mode = StackMode.parse(data)
+        except ValueError as exc:
+            raise ProcFsError(str(exc)) from exc
+        self._set_mode(mode)
+
+    def _read_mode(self) -> str:
+        return self._get_mode().value

@@ -1,0 +1,60 @@
+"""Mode-aware stage-transition functions (paper §IV-C).
+
+In the kernel, ``gro_cells_receive`` (bridge/vxlan) and ``netif_rx``
+(veth) move an skb from one pipeline stage to the input queue of the next
+device, schedule that device, and raise a softirq if needed.  PRISM
+modifies exactly these functions:
+
+- **VANILLA** — enqueue to the (low) FIFO queue and tail-schedule;
+- **PRISM_BATCH** — enqueue to the priority-matching queue; devices with
+  high-priority packets are added *or moved* to the head of the poll list
+  (batch-level preemption);
+- **PRISM_SYNC** — for high-priority skbs, skip the queue altogether and
+  run the next stage inline, run-to-completion, within the current
+  softirq (``netif_receive_skb`` called directly); low-priority skbs
+  behave as in PRISM_BATCH.
+
+:func:`transition_to_napi` is the single entry point used by every stage.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.packet.skb import SKBuff
+from repro.prism.mode import StackMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+    from repro.kernel.softnet import NapiStruct
+
+__all__ = ["transition_to_napi"]
+
+
+def transition_to_napi(kernel: "Kernel", skb: SKBuff, napi: "NapiStruct"
+                       ) -> Generator[int, None, None]:
+    """Hand *skb* to the pipeline stage served by *napi*.
+
+    Yields CPU nanoseconds (runs in softirq context on the current core).
+    """
+    mode = kernel.mode
+
+    if mode is StackMode.PRISM_SYNC and kernel.is_high_class(skb):
+        # Run-to-completion: the packet never enters a queue; the next
+        # stage executes immediately in this softirq (§III-B1).
+        yield kernel.costs.sync_stage_overhead_ns
+        yield from napi.process_inline(skb)
+        return
+
+    high = mode.is_prism and kernel.is_high_class(skb)
+    if not napi.enqueue(skb, high=high):
+        return  # overflow drop (accounted by the queue / kernel)
+
+    softnet = napi.softnet
+    if softnet is None:
+        raise RuntimeError(f"napi {napi.name!r} is not bound to a softnet")
+    yield kernel.costs.softirq_raise_ns
+    if high:
+        softnet.napi_schedule_head(napi)
+    else:
+        softnet.napi_schedule(napi)

@@ -1,0 +1,160 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns an integer-nanosecond virtual clock and a binary
+heap of pending occurrences.  Two kinds of occurrence exist:
+
+- *scheduled calls* — plain callbacks registered with :meth:`Simulator.schedule`;
+- *events* — :class:`~repro.sim.events.Event` instances whose callbacks run
+  when the event is processed.
+
+Determinism: occurrences at the same timestamp run in the order they were
+scheduled (a monotonically increasing sequence number breaks ties).  Given
+the same seed and the same sequence of API calls, a simulation is exactly
+reproducible — a property the PRISM poll-order experiments depend on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Simulator", "ScheduledCall", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class ScheduledCall:
+    """Handle for a callback registered via :meth:`Simulator.schedule`.
+
+    Supports O(1) cancellation: cancelled entries stay in the heap but are
+    skipped when popped.
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, fn: Callable[..., Any], args: Tuple[Any, ...]) -> None:
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledCall t={self.time} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with an integer-ns clock."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Tuple[int, int, object]] = []
+        self._seq = 0
+        self._running = False
+        self._processes: List[Process] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` after *delay* nanoseconds.  Returns a handle."""
+        return self.schedule_at(self.now + int(delay), fn, *args)
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` at absolute virtual time *time*."""
+        time = int(time)
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}")
+        call = ScheduledCall(time, fn, args)
+        self._push(time, call)
+        return call
+
+    def _schedule_event(self, event: Event, delay: int = 0) -> None:
+        """Queue a triggered event for processing (internal API)."""
+        self._push(self.now + delay, event)
+
+    def _push(self, time: int, item: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, item))
+
+    # ------------------------------------------------------------------
+    # Event / process construction helpers
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh (untriggered) :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None, name: str = "") -> Timeout:
+        """Create an event that fires after *delay* nanoseconds."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start driving *generator* as a simulation process."""
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[int]:
+        """Virtual time of the next live occurrence, or None if empty."""
+        while self._heap:
+            time, _seq, item = self._heap[0]
+            if isinstance(item, ScheduledCall) and item.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    def step(self) -> bool:
+        """Process one occurrence.  Returns False when the queue is empty."""
+        while self._heap:
+            time, _seq, item = heapq.heappop(self._heap)
+            if isinstance(item, ScheduledCall):
+                if item.cancelled:
+                    continue
+                self.now = time
+                item.fn(*item.args)
+                return True
+            # Event
+            self.now = time
+            item._process()  # type: ignore[union-attr]
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the queue drains or the clock passes *until* (ns).
+
+        When *until* is given, the clock is advanced to exactly *until*
+        even if the last occurrence is earlier, so back-to-back ``run``
+        calls observe a monotonic clock.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def __repr__(self) -> str:
+        return f"<Simulator now={self.now} pending={len(self._heap)}>"

@@ -1,0 +1,114 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` drives a Python generator.  The generator models an
+activity (a softirq handler, an application thread, a traffic source) and
+yields one of:
+
+- an ``int`` — sleep for that many nanoseconds;
+- an :class:`~repro.sim.events.Event` — resume when the event fires, with
+  ``yield`` evaluating to the event's value (or raising its exception);
+- another :class:`Process` — wait for it to finish (a Process *is* an
+  Event);
+- ``None`` — reschedule immediately (cooperative yield point).
+
+A process is itself an Event that succeeds with the generator's return
+value, so processes can be joined or combined with
+:class:`~repro.sim.events.AnyOf`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event
+
+__all__ = ["Process", "ProcessKilled"]
+
+
+class ProcessKilled(Exception):
+    """Thrown into a generator when its process is killed."""
+
+
+class Process(Event):
+    """An event that drives a generator coroutine to completion."""
+
+    def __init__(self, sim: "Simulator", generator: Generator,  # noqa: F821
+                 name: str = "") -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", ""))
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._alive = True
+        # Kick off on the next event-loop iteration at the current time.
+        self._bootstrap = sim.event(name=f"bootstrap:{self.name}")
+        self._bootstrap.add_callback(self._resume)
+        self._bootstrap.succeed()
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished or been killed."""
+        return self._alive
+
+    def kill(self) -> None:
+        """Terminate the process by throwing :class:`ProcessKilled` into it."""
+        if not self._alive:
+            return
+        self._alive = False
+        self._waiting_on = None
+        try:
+            self._generator.throw(ProcessKilled())
+        except (ProcessKilled, StopIteration):
+            pass
+        finally:
+            self._generator.close()
+        if not self.triggered:
+            self.succeed(None)
+
+    # ------------------------------------------------------------------
+    # Generator driving
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if not self._alive:
+            return
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.exception)  # type: ignore[arg-type]
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except ProcessKilled:
+            self._finish(None)
+            return
+        self._wait_on(self._coerce(target))
+
+    def _coerce(self, target: Any) -> Event:
+        if target is None:
+            return self.sim.timeout(0, name=f"yield:{self.name}")
+        if isinstance(target, Event):
+            return target
+        if isinstance(target, int):
+            return self.sim.timeout(target)
+        if isinstance(target, float):
+            return self.sim.timeout(int(round(target)))
+        raise TypeError(
+            f"process {self.name!r} yielded unsupported value {target!r}; "
+            "yield an int delay, an Event, a Process, or None")
+
+    def _wait_on(self, event: Event) -> None:
+        self._waiting_on = event
+        event.add_callback(self._resume)
+
+    def _finish(self, value: Any) -> None:
+        self._alive = False
+        if not self.triggered:
+            self.succeed(value)
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,82 @@
+"""Seeded random-number generation for reproducible experiments.
+
+All stochastic choices in the simulation (inter-arrival jitter, payload
+size draws, workload key selection) go through a :class:`SeededRng` so a
+run is exactly reproducible from its seed.  The class wraps
+:class:`random.Random` and adds the distributions the workloads need.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["SeededRng"]
+
+
+class SeededRng:
+    """Deterministic RNG with workload-oriented helpers."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def fork(self, label: str) -> "SeededRng":
+        """Derive an independent child stream from this RNG and a label.
+
+        Used so each traffic source gets its own stream and adding a new
+        source does not perturb existing ones.
+        """
+        child_seed = hash((self.seed, label)) & 0x7FFF_FFFF_FFFF_FFFF
+        return SeededRng(child_seed)
+
+    # ------------------------------------------------------------------
+    # Distributions
+    # ------------------------------------------------------------------
+    def uniform_int(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._random.randint(low, high)
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high)."""
+        return self._random.uniform(low, high)
+
+    def exponential(self, mean: float) -> float:
+        """Exponential draw with the given mean (>= 0)."""
+        return self._random.expovariate(1.0 / mean) if mean > 0 else 0.0
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        return self._random.choice(items)
+
+    def shuffle(self, items: List[T]) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._random.shuffle(items)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def zipf_index(self, n: int, skew: float = 0.99) -> int:
+        """Draw an index in [0, n) with a Zipf-like popularity skew.
+
+        Used by the memcached workload to pick hot keys, approximating
+        memaslap's skewed key popularity.  Uses inverse-CDF sampling over
+        the (truncated) Zipf mass function.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if n == 1:
+            return 0
+        # Approximate inverse CDF via the continuous bounded-Pareto form.
+        u = self._random.random()
+        if skew == 1.0:
+            skew = 0.999999
+        h = (n ** (1.0 - skew) - 1.0) * u + 1.0
+        index = int(h ** (1.0 / (1.0 - skew))) - 1
+        return min(max(index, 0), n - 1)
+
+    def __repr__(self) -> str:
+        return f"<SeededRng seed={self.seed}>"

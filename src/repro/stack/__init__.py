@@ -1,0 +1,32 @@
+"""The in-kernel protocol stack above the device layer.
+
+- :mod:`~repro.stack.netns` — network namespaces (one per container, one
+  root per host), each with its own socket table;
+- :mod:`~repro.stack.sockets` — UDP sockets and the socket table, with
+  receive buffers, app wake-up, and drop accounting;
+- :mod:`~repro.stack.tcp` — a simplified message-oriented TCP endpoint
+  (segmentation, in-order reassembly; lossless point-to-point wire);
+- :mod:`~repro.stack.receive` — ``ip_rcv``/``udp_rcv``/``tcp_rcv``:
+  validation and demux to sockets (cost is charged by the calling stage);
+- :mod:`~repro.stack.fdb` — the learning forwarding database used by the
+  Linux bridge;
+- :mod:`~repro.stack.tc` — egress queueing disciplines (pfifo, prio),
+  modelling the transmit-side prioritization the kernel already has
+  (paper §I notes *tc* exists only for tx).
+"""
+
+from repro.stack.fdb import Fdb
+from repro.stack.netns import NetNamespace
+from repro.stack.receive import protocol_rcv
+from repro.stack.sockets import SocketTable, UdpSocket
+from repro.stack.tcp import TcpEndpoint, TcpSegment
+
+__all__ = [
+    "Fdb",
+    "NetNamespace",
+    "SocketTable",
+    "TcpEndpoint",
+    "TcpSegment",
+    "UdpSocket",
+    "protocol_rcv",
+]

@@ -1,0 +1,58 @@
+"""The bridge forwarding database (FDB).
+
+A learning MAC table: source addresses are learned on ingress, destination
+lookups pick the egress port.  Entries can also be installed statically
+(Docker's overlay control plane programs static FDB entries for remote
+containers — our topology builder does the same).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.packet.addr import MacAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netdev.device import NetDevice
+
+__all__ = ["Fdb"]
+
+
+class Fdb:
+    """MAC address -> bridge port map with learning."""
+
+    def __init__(self) -> None:
+        self._table: Dict[MacAddress, "NetDevice"] = {}
+        self.learned = 0
+        self.lookups = 0
+        self.misses = 0
+
+    def learn(self, mac: MacAddress, port: "NetDevice") -> None:
+        """Record that *mac* was seen behind *port*."""
+        if mac.is_broadcast:
+            return
+        if self._table.get(mac) is not port:
+            self._table[mac] = port
+            self.learned += 1
+
+    def lookup(self, mac: MacAddress) -> Optional["NetDevice"]:
+        """Egress port for *mac*, or None (flood) when unknown/broadcast."""
+        self.lookups += 1
+        if mac.is_broadcast:
+            return None
+        port = self._table.get(mac)
+        if port is None:
+            self.misses += 1
+        return port
+
+    def forget(self, mac: MacAddress) -> bool:
+        return self._table.pop(mac, None) is not None
+
+    def entries(self) -> List[MacAddress]:
+        return list(self._table)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __repr__(self) -> str:
+        return f"<Fdb entries={len(self._table)} misses={self.misses}>"

@@ -1,0 +1,48 @@
+"""Network namespaces.
+
+Every container gets its own namespace (socket table + devices); the host
+kernel has a root namespace.  This is what gives containers isolated port
+spaces, exactly as in Linux.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.packet.addr import Ipv4Address
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netdev.device import NetDevice
+    from repro.stack.sockets import SocketTable
+
+__all__ = ["NetNamespace"]
+
+
+class NetNamespace:
+    """An isolated network namespace."""
+
+    def __init__(self, name: str) -> None:
+        from repro.stack.sockets import SocketTable  # local import (cycle)
+        self.name = name
+        self.sockets: "SocketTable" = SocketTable(self)
+        self.devices: List["NetDevice"] = []
+        self._local_ips: Dict[int, "NetDevice"] = {}
+
+    def add_device(self, device: "NetDevice") -> None:
+        device.netns = self
+        self.devices.append(device)
+        if device.ip is not None:
+            self._local_ips[device.ip.value] = device
+
+    def is_local_ip(self, ip: Ipv4Address) -> bool:
+        """True if *ip* is assigned to a device in this namespace."""
+        return ip.value in self._local_ips
+
+    def device_by_name(self, name: str) -> Optional["NetDevice"]:
+        for device in self.devices:
+            if device.name == name:
+                return device
+        return None
+
+    def __repr__(self) -> str:
+        return f"<NetNamespace {self.name!r} devices={[d.name for d in self.devices]}>"

@@ -1,0 +1,92 @@
+"""Egress queueing disciplines (``tc`` analogue).
+
+The paper's introduction notes that the kernel already offers
+transmit-side prioritization via *tc* but nothing equivalent on the
+receive side — which is PRISM's gap to fill.  For completeness (and for
+experiments that combine both directions) this module models the two
+disciplines that matter here:
+
+- :class:`PfifoQdisc` — the default single FIFO;
+- :class:`PrioQdisc` — strict-priority bands, like ``tc prio``: dequeue
+  always drains the lowest-numbered non-empty band.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional
+
+from repro.netdev.queues import PacketQueue
+from repro.packet.packet import Packet
+
+__all__ = ["Qdisc", "PfifoQdisc", "PrioQdisc"]
+
+
+class Qdisc(abc.ABC):
+    """A queueing discipline: enqueue packets, dequeue in policy order."""
+
+    @abc.abstractmethod
+    def enqueue(self, packet: Packet) -> bool:
+        """Queue *packet*; False if dropped."""
+
+    @abc.abstractmethod
+    def dequeue(self) -> Optional[Packet]:
+        """Next packet to transmit, or None when empty."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Packets currently queued."""
+
+
+class PfifoQdisc(Qdisc):
+    """A single bounded FIFO (``pfifo``)."""
+
+    def __init__(self, capacity: int = 1000) -> None:
+        self._queue: PacketQueue[Packet] = PacketQueue(capacity, "pfifo")
+
+    def enqueue(self, packet: Packet) -> bool:
+        return self._queue.enqueue(packet)
+
+    def dequeue(self) -> Optional[Packet]:
+        return self._queue.dequeue() if self._queue else None
+
+    @property
+    def dropped(self) -> int:
+        return self._queue.dropped
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PrioQdisc(Qdisc):
+    """Strict-priority bands (``tc prio``).
+
+    ``classify`` maps a packet to a band index (0 = highest priority);
+    the default classifier puts everything in the last band.
+    """
+
+    def __init__(self, bands: int = 3, capacity_per_band: int = 1000,
+                 classify: Optional[Callable[[Packet], int]] = None) -> None:
+        if bands < 1:
+            raise ValueError("need at least one band")
+        self.bands: List[PacketQueue[Packet]] = [
+            PacketQueue(capacity_per_band, f"prio:band{i}") for i in range(bands)]
+        self._classify = classify or (lambda packet: bands - 1)
+
+    def enqueue(self, packet: Packet) -> bool:
+        band = self._classify(packet)
+        band = min(max(band, 0), len(self.bands) - 1)
+        return self.bands[band].enqueue(packet)
+
+    def dequeue(self) -> Optional[Packet]:
+        for band in self.bands:
+            if band:
+                return band.dequeue()
+        return None
+
+    @property
+    def dropped(self) -> int:
+        return sum(band.dropped for band in self.bands)
+
+    def __len__(self) -> int:
+        return sum(len(band) for band in self.bands)

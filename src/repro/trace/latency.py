@@ -1,0 +1,51 @@
+"""In-kernel per-packet latency probes.
+
+Measures the time an skb spends inside the kernel receive path: from DMA
+into the rx ring (the ``rx_ring`` mark stamped by the driver poll) to
+delivery into a socket receive buffer (the ``socket_enqueue``
+tracepoint).  This is the latency component PRISM actually changes;
+end-to-end application latency is measured separately by the workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.packet.skb import SKBuff
+from repro.trace.tracer import TracePoint, Tracer
+
+__all__ = ["KernelLatencyProbe"]
+
+
+class KernelLatencyProbe:
+    """Collects rx-ring-to-socket latencies, optionally filtered."""
+
+    def __init__(self, tracer: Tracer, now: Callable[[], int],
+                 only_high_priority: Optional[bool] = None,
+                 socket_name: Optional[str] = None) -> None:
+        self.now = now
+        self.tracer = tracer
+        self.only_high_priority = only_high_priority
+        self.socket_name = socket_name
+        self.samples_ns: List[int] = []
+        self._callback = tracer.attach(TracePoint.SOCKET_ENQUEUE, self._on_enqueue)
+
+    def _on_enqueue(self, socket: str, skb: SKBuff, **_fields: object) -> None:
+        if self.socket_name is not None and socket != self.socket_name:
+            return
+        if (self.only_high_priority is not None
+                and skb.is_high_priority != self.only_high_priority):
+            return
+        start = skb.marks.get("rx_ring")
+        if start is None:
+            return
+        self.samples_ns.append(self.now() - start)
+
+    def stop(self) -> None:
+        self.tracer.detach(TracePoint.SOCKET_ENQUEUE, self._callback)
+
+    def clear(self) -> None:
+        self.samples_ns.clear()
+
+    def __len__(self) -> int:
+        return len(self.samples_ns)

@@ -1,0 +1,79 @@
+"""NAPI poll-order tracing — regenerates the paper's Fig. 6 tables.
+
+Attaches to the ``napi_poll`` tracepoint and records, per softirq poll
+iteration, which device was polled and a snapshot of the poll list
+afterwards.  Device names are normalized to the paper's labels
+(``eth``, ``br``, ``veth``) via a rename map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.trace.tracer import TracePoint, Tracer
+
+__all__ = ["PollRecord", "PollOrderTracer", "DEFAULT_RENAME"]
+
+#: Maps internal NAPI names to the paper's stage labels.
+DEFAULT_RENAME = {"backlog:cpu0": "veth"}
+
+
+@dataclass(frozen=True)
+class PollRecord:
+    """One poll iteration: the device polled and the list state after."""
+
+    iteration: int
+    device: str
+    poll_list: tuple
+
+    def __str__(self) -> str:
+        inner = ", ".join(self.poll_list)
+        return f"{self.iteration:>4}  {self.device:<6} [{inner}]"
+
+
+class PollOrderTracer:
+    """Records the device polling order (the paper's eBPF methodology)."""
+
+    def __init__(self, tracer: Tracer,
+                 rename: Optional[Dict[str, str]] = None,
+                 cpu: Optional[int] = None) -> None:
+        self.tracer = tracer
+        self.rename = dict(DEFAULT_RENAME if rename is None else rename)
+        self.cpu = cpu
+        self.records: List[PollRecord] = []
+        self._callback = tracer.attach(TracePoint.NAPI_POLL, self._on_poll)
+
+    def _on_poll(self, cpu: int, device: str, local_list: List[str],
+                 global_list: List[str], **_fields: object) -> None:
+        if self.cpu is not None and cpu != self.cpu:
+            return
+        names = tuple(self._name(n) for n in list(local_list) + list(global_list))
+        self.records.append(PollRecord(
+            iteration=len(self.records) + 1,
+            device=self._name(device),
+            poll_list=names))
+
+    def _name(self, raw: str) -> str:
+        if raw in self.rename:
+            return self.rename[raw]
+        if raw.startswith("backlog"):
+            return "veth"
+        return raw
+
+    def stop(self) -> None:
+        """Detach from the tracepoint."""
+        self.tracer.detach(TracePoint.NAPI_POLL, self._callback)
+
+    def device_order(self) -> List[str]:
+        """Just the sequence of polled device names."""
+        return [record.device for record in self.records]
+
+    def as_table(self, limit: Optional[int] = None) -> str:
+        """Render like the paper's Fig. 6: iteration, device, poll list."""
+        rows = self.records if limit is None else self.records[:limit]
+        header = f"{'Iter':>4}  {'Device':<6} Poll list"
+        return "\n".join([header] + [str(row) for row in rows])
+
+    def clear(self) -> None:
+        self.records.clear()

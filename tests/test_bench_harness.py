@@ -1,0 +1,134 @@
+"""Tests for the bench harness: experiment runner, app runners, report."""
+
+import pytest
+
+from repro.bench.applications import (
+    AppBenchConfig,
+    run_memcached_benchmark,
+    run_webserver_benchmark,
+)
+from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.report import ReproRow, format_experiment_header, format_table
+from repro.bench.testbed import build_testbed
+from repro.prism.mode import StackMode
+from repro.sim.units import MS
+
+FAST = dict(duration_ns=40 * MS, warmup_ns=10 * MS)
+
+
+class TestExperimentRunner:
+    def test_overlay_pingpong_produces_samples(self):
+        result = run_experiment(ExperimentConfig(
+            mode=StackMode.VANILLA, fg_rate_pps=2_000, **FAST))
+        assert result.fg_latency is not None
+        assert result.fg_latency.count > 50
+        assert result.fg_replies > 50
+        assert result.cpu_utilization < 0.2
+
+    def test_overlay_with_background(self):
+        result = run_experiment(ExperimentConfig(
+            mode=StackMode.PRISM_SYNC, fg_rate_pps=2_000,
+            bg_rate_pps=100_000, **FAST))
+        assert result.bg_delivered_pps > 80_000
+        assert result.cpu_utilization > 0.15
+
+    def test_host_network_pingpong(self):
+        result = run_experiment(ExperimentConfig(
+            mode=StackMode.VANILLA, network="host", fg_rate_pps=2_000,
+            bg_rate_pps=50_000, **FAST))
+        assert result.fg_latency is not None
+        assert result.bg_delivered_pps > 40_000
+
+    def test_flood_measures_delivery(self):
+        result = run_experiment(ExperimentConfig(
+            mode=StackMode.VANILLA, fg_kind="flood", fg_rate_pps=100_000,
+            **FAST))
+        assert result.fg_latency is None or result.fg_latency.count == 0
+        assert result.fg_delivered_pps == pytest.approx(100_000, rel=0.05)
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(ExperimentConfig(network="quantum"))
+
+    def test_label(self):
+        config = ExperimentConfig(mode=StackMode.PRISM_SYNC,
+                                  bg_rate_pps=300_000)
+        assert config.label() == "overlay/prism-sync+bg300k"
+
+    def test_result_str_is_readable(self):
+        result = run_experiment(ExperimentConfig(fg_rate_pps=2_000, **FAST))
+        text = str(result)
+        assert "fg:" in text and "cpu=" in text
+
+
+class TestAppRunners:
+    def test_memcached_smoke(self):
+        result = run_memcached_benchmark(AppBenchConfig(
+            mode=StackMode.VANILLA, busy=False, **FAST))
+        assert result.throughput_per_sec > 10_000
+        assert result.latency is not None
+
+    def test_webserver_smoke(self):
+        result = run_webserver_benchmark(AppBenchConfig(
+            mode=StackMode.VANILLA, busy=False, **FAST))
+        assert result.throughput_per_sec > 5_000
+        assert result.completed > 100
+
+    def test_app_result_str(self):
+        result = run_memcached_benchmark(AppBenchConfig(
+            mode=StackMode.VANILLA, busy=False, **FAST))
+        assert "op/s" in str(result)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [
+            ReproRow("quantity a", "-50%", "-48%", True),
+            ReproRow("much longer quantity name", "~2x", "1.9x", False),
+        ]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("quantity")
+        assert "ok" in table and "MISMATCH" in table
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_header(self):
+        header = format_experiment_header("Fig. 9", "something")
+        assert "Fig. 9: something" in header
+
+    def test_verdict(self):
+        assert ReproRow("q", "p", "m", True).verdict == "ok"
+        assert ReproRow("q", "p", "m", False).verdict == "MISMATCH"
+
+
+class TestTestbed:
+    def test_default_layout(self):
+        testbed = build_testbed()
+        assert str(testbed.server.ip) == "192.168.1.1"
+        assert str(testbed.client.ip) == "192.168.1.2"
+        assert testbed.server.kernel.mode is StackMode.VANILLA
+        assert len(testbed.server.kernel.cpus) == 3
+
+    def test_mode_parameter(self):
+        testbed = build_testbed(mode=StackMode.PRISM_SYNC)
+        assert testbed.server.kernel.mode is StackMode.PRISM_SYNC
+
+    def test_set_mode_helper(self):
+        testbed = build_testbed()
+        testbed.set_mode(StackMode.PRISM_BATCH)
+        assert testbed.server.kernel.mode is StackMode.PRISM_BATCH
+
+    def test_mark_high_priority_installs_rule(self):
+        testbed = build_testbed()
+        testbed.mark_high_priority("10.0.0.10", 5000)
+        assert len(testbed.server.kernel.priority_db) == 1
+
+    def test_containers_registered(self):
+        testbed = build_testbed()
+        server_cont = testbed.add_server_container("a", "10.0.0.10")
+        client_cont = testbed.add_client_container("b", "10.0.0.100")
+        assert testbed.server_containers["a"] is server_cont
+        assert testbed.client_containers["b"] is client_cont
+        assert len(testbed.overlay) == 2

@@ -1,0 +1,155 @@
+"""End-to-end integration tests: wire -> NIC -> 3 stages -> socket -> app."""
+
+import pytest
+
+from repro.apps.remote import RemoteRequestSender
+from repro.apps.sockperf import PingRecord, SockperfUdpClient, SockperfUdpServer
+from repro.bench.testbed import build_testbed
+from repro.kernel.cpu import Work
+from repro.prism.mode import StackMode
+from repro.sim.units import MS, US
+
+
+def make_overlay_testbed(mode=StackMode.VANILLA):
+    testbed = build_testbed(mode=mode)
+    server_cont = testbed.add_server_container("srv", "10.0.0.10")
+    client_cont = testbed.add_client_container("cli", "10.0.0.100")
+    return testbed, server_cont, client_cont
+
+
+class TestOverlayDelivery:
+    def test_single_packet_reaches_container_socket(self):
+        testbed, server_cont, client_cont = make_overlay_testbed()
+        socket = server_cont.udp_socket(5000, core_id=1)
+        sender = RemoteRequestSender(testbed.client, testbed.overlay,
+                                     client_cont, "10.0.0.10")
+        sender.send_udp(src_port=40000, dst_port=5000,
+                        payload="hello", payload_len=64,
+                        created_at=testbed.sim.now)
+        testbed.sim.run(until=5 * MS)
+        assert len(socket.rcvbuf) == 1
+        skb = socket.rcvbuf.dequeue()
+        assert skb.packet.payload == "hello"
+        # The skb's packet view is the decapsulated inner packet.
+        assert str(skb.packet.ip.dst) == "10.0.0.10"
+        assert skb.packet.l4.dst_port == 5000
+
+    def test_packet_travels_all_three_stages(self):
+        testbed, server_cont, client_cont = make_overlay_testbed()
+        socket = server_cont.udp_socket(5000, core_id=1)
+        sender = RemoteRequestSender(testbed.client, testbed.overlay,
+                                     client_cont, "10.0.0.10")
+        sender.send_udp(src_port=40000, dst_port=5000,
+                        payload=None, payload_len=64)
+        testbed.sim.run(until=5 * MS)
+        skb = socket.rcvbuf.dequeue()
+        # Devices saw it: NIC, vxlan (stage 2), container veth (stage 3).
+        assert testbed.server.nic.rx_packets == 1
+        assert testbed.server_overlay.vxlan.rx_packets == 1
+        assert server_cont.veth.container_end.rx_packets == 1
+        assert "rx_ring" in skb.marks
+        assert "socket_enqueue" in skb.marks
+        assert skb.marks["socket_enqueue"] > skb.marks["rx_ring"]
+
+    def test_app_thread_receives_datagram(self):
+        testbed, server_cont, client_cont = make_overlay_testbed()
+        socket = server_cont.udp_socket(5000, core_id=1)
+        got = []
+
+        def app():
+            skb = yield from socket.recv()
+            got.append((testbed.sim.now, skb.packet.payload))
+            yield Work(500)
+
+        server_cont.spawn(app(), core_id=1)
+        sender = RemoteRequestSender(testbed.client, testbed.overlay,
+                                     client_cont, "10.0.0.10")
+        sender.send_udp(src_port=40000, dst_port=5000,
+                        payload="ping", payload_len=32)
+        testbed.sim.run(until=5 * MS)
+        assert len(got) == 1
+        assert got[0][1] == "ping"
+        assert got[0][0] > 0
+
+    def test_unmatched_port_is_dropped_and_counted(self):
+        testbed, server_cont, client_cont = make_overlay_testbed()
+        server_cont.udp_socket(5000, core_id=1)
+        sender = RemoteRequestSender(testbed.client, testbed.overlay,
+                                     client_cont, "10.0.0.10")
+        sender.send_udp(src_port=40000, dst_port=9999,
+                        payload=None, payload_len=32)
+        testbed.sim.run(until=5 * MS)
+        drops = testbed.server.kernel.drops
+        assert any("udp-unmatched" in name for name in drops)
+
+    @pytest.mark.parametrize("mode", list(StackMode))
+    def test_delivery_works_in_every_mode(self, mode):
+        testbed, server_cont, client_cont = make_overlay_testbed(mode)
+        if mode.is_prism:
+            testbed.mark_high_priority("10.0.0.10", 5000)
+        socket = server_cont.udp_socket(5000, core_id=1)
+        sender = RemoteRequestSender(testbed.client, testbed.overlay,
+                                     client_cont, "10.0.0.10")
+        for _ in range(10):
+            sender.send_udp(src_port=40000, dst_port=5000,
+                            payload=None, payload_len=64)
+        testbed.sim.run(until=5 * MS)
+        assert len(socket.rcvbuf) == 10
+
+
+class TestPingPong:
+    def test_round_trip_latency_measured(self):
+        testbed, server_cont, client_cont = make_overlay_testbed()
+        SockperfUdpServer(server_cont, 5000, core_id=1)
+        client = SockperfUdpClient(
+            testbed.sim, testbed.client, testbed.overlay, client_cont,
+            "10.0.0.10", 5000, rate_pps=1000, src_port=30001)
+        testbed.sim.run(until=20 * MS)
+        assert client.replies >= 15
+        summary = client.recorder.summary()
+        # Idle round trip should land in the tens of microseconds.
+        assert 5 * US < summary.avg_ns < 200 * US
+
+    def test_priority_classification_stamps_high(self):
+        testbed, server_cont, client_cont = make_overlay_testbed(
+            StackMode.PRISM_BATCH)
+        testbed.mark_high_priority("10.0.0.10", 5000)
+        socket = server_cont.udp_socket(5000, core_id=1)
+        sender = RemoteRequestSender(testbed.client, testbed.overlay,
+                                     client_cont, "10.0.0.10")
+        sender.send_udp(src_port=40000, dst_port=5000,
+                        payload=None, payload_len=32)
+        testbed.sim.run(until=5 * MS)
+        skb = socket.rcvbuf.dequeue()
+        assert skb.is_high_priority
+
+    def test_unmarked_flow_is_low_priority_in_prism(self):
+        testbed, server_cont, client_cont = make_overlay_testbed(
+            StackMode.PRISM_BATCH)
+        testbed.mark_high_priority("10.0.0.99", 1234)  # some other flow
+        socket = server_cont.udp_socket(5000, core_id=1)
+        sender = RemoteRequestSender(testbed.client, testbed.overlay,
+                                     client_cont, "10.0.0.10")
+        sender.send_udp(src_port=40000, dst_port=5000,
+                        payload=None, payload_len=32)
+        testbed.sim.run(until=5 * MS)
+        skb = socket.rcvbuf.dequeue()
+        assert skb.classified
+        assert not skb.is_high_priority
+
+
+class TestHostNetworkDelivery:
+    def test_plain_udp_to_host_socket(self):
+        from repro.stack.egress import build_udp_packet
+
+        testbed = build_testbed()
+        socket = testbed.server.udp_socket(7000, core_id=1)
+        packet = build_udp_packet(
+            src_mac=testbed.client.mac, dst_mac=testbed.server.mac,
+            src_ip=testbed.client.ip, dst_ip=testbed.server.ip,
+            src_port=30001, dst_port=7000, payload="host", payload_len=16)
+        testbed.client.transmit(packet)
+        testbed.sim.run(until=5 * MS)
+        assert len(socket.rcvbuf) == 1
+        # Host path: no virtual devices involved.
+        assert testbed.server_overlay.vxlan.rx_packets == 0

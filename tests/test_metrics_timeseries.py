@@ -1,0 +1,88 @@
+"""Tests for the windowed time series."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.timeseries import WindowedSeries
+
+
+class TestWindowedSeries:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedSeries(0)
+
+    def test_bucketing(self):
+        series = WindowedSeries(window_ns=1_000)
+        series.record(100)
+        series.record(900)
+        series.record(1_100)
+        windows = series.windows()
+        assert [w.count for w in windows] == [2, 1]
+        assert windows[0].start_ns == 0
+        assert windows[1].start_ns == 1_000
+
+    def test_rates(self):
+        series = WindowedSeries(window_ns=1_000_000)  # 1 ms windows
+        for at in range(0, 1_000_000, 10_000):  # 100 events in 1 ms
+            series.record(at)
+        (window,) = series.windows()
+        assert window.rate_per_sec == pytest.approx(100_000)
+        assert series.peak_rate_per_sec() == pytest.approx(100_000)
+
+    def test_latency_summary_per_window(self):
+        series = WindowedSeries(window_ns=1_000)
+        series.record(100, value_ns=10)
+        series.record(200, value_ns=30)
+        series.record(1_500)  # count-only event
+        windows = series.windows()
+        assert windows[0].latency.avg_ns == 20
+        assert windows[1].latency is None
+
+    def test_rate_series_includes_holes(self):
+        series = WindowedSeries(window_ns=1_000)
+        series.record(500)
+        series.record(3_500)
+        rates = series.rate_series()
+        assert len(rates) == 4
+        assert rates[1] == 0.0 and rates[2] == 0.0
+
+    def test_empty(self):
+        series = WindowedSeries(window_ns=1_000)
+        assert series.windows() == []
+        assert series.rate_series() == []
+        assert series.peak_rate_per_sec() == 0.0
+        assert series.total == 0
+
+    @given(st.lists(st.integers(0, 10**9), min_size=1, max_size=300),
+           st.integers(1, 10**8))
+    def test_total_conserved(self, timestamps, window):
+        series = WindowedSeries(window_ns=window)
+        for at in timestamps:
+            series.record(at)
+        assert series.total == len(timestamps)
+        assert sum(w.count for w in series.windows()) == len(timestamps)
+
+    def test_integration_with_experiment(self):
+        """Time-resolved view of an overload transition."""
+        from repro.apps.remote import RemoteRequestSender
+        from repro.bench.testbed import build_testbed
+        from repro.sim.units import MS
+        from repro.trace.tracer import TracePoint
+
+        testbed = build_testbed()
+        server = testbed.add_server_container("srv", "10.0.0.10")
+        client = testbed.add_client_container("cli", "10.0.0.100")
+        server.udp_socket(5000, core_id=1)
+        series = WindowedSeries(window_ns=1 * MS, name="deliveries")
+        testbed.server.kernel.tracer.attach(
+            TracePoint.SOCKET_ENQUEUE,
+            lambda socket, skb, **kw: series.record(testbed.sim.now))
+        sender = RemoteRequestSender(testbed.client, testbed.overlay,
+                                     client, "10.0.0.10")
+        for _ in range(300):
+            sender.send_udp(src_port=40000, dst_port=5000,
+                            payload=None, payload_len=32)
+        testbed.sim.run(until=10 * MS)
+        assert series.total == 300
+        assert series.peak_rate_per_sec() > 0

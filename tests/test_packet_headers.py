@@ -1,0 +1,148 @@
+"""Tests for header dataclasses, checksums, and flow keys."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.packet import (
+    EthernetHeader,
+    FlowKey,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IPv4Header,
+    Ipv4Address,
+    MacAddress,
+    TcpHeader,
+    UdpHeader,
+    VxlanHeader,
+    internet_checksum,
+    rss_hash,
+    verify_checksum,
+)
+from repro.packet.headers import TCP_FLAG_ACK, TCP_FLAG_SYN
+
+
+MAC_A = MacAddress("02:42:ac:11:00:02")
+MAC_B = MacAddress("02:42:ac:11:00:03")
+IP_A = Ipv4Address("10.0.0.1")
+IP_B = Ipv4Address("10.0.0.2")
+
+
+class TestHeaderLengths:
+    def test_wire_lengths_match_standards(self):
+        assert EthernetHeader(MAC_A, MAC_B).length == 14
+        assert IPv4Header(IP_A, IP_B, IPPROTO_UDP).length == 20
+        assert UdpHeader(1, 2).length == 8
+        assert TcpHeader(1, 2).length == 20
+        assert VxlanHeader(1).length == 8
+
+    def test_serialized_length_matches_declared(self):
+        headers = [
+            EthernetHeader(MAC_A, MAC_B),
+            IPv4Header(IP_A, IP_B, IPPROTO_UDP),
+            UdpHeader(1000, 2000, payload_length=100),
+            TcpHeader(1000, 2000, seq=5),
+            VxlanHeader(42),
+        ]
+        for header in headers:
+            assert len(header.to_bytes()) == header.length
+
+
+class TestIPv4Header:
+    def test_ttl_decrement(self):
+        header = IPv4Header(IP_A, IP_B, IPPROTO_UDP, ttl=2)
+        assert header.decrement_ttl().ttl == 1
+
+    def test_ttl_zero_raises(self):
+        header = IPv4Header(IP_A, IP_B, IPPROTO_UDP, ttl=0)
+        with pytest.raises(ValueError):
+            header.decrement_ttl()
+
+    def test_serialization_embeds_valid_checksum(self):
+        header = IPv4Header(IP_A, IP_B, IPPROTO_UDP, total_length=120)
+        assert verify_checksum(header.to_bytes())
+
+    def test_checksum_differs_for_different_headers(self):
+        a = IPv4Header(IP_A, IP_B, IPPROTO_UDP).to_bytes()
+        b = IPv4Header(IP_A, IP_B, IPPROTO_TCP).to_bytes()
+        assert a != b
+
+
+class TestUdpHeader:
+    def test_total_length_includes_header(self):
+        assert UdpHeader(1, 2, payload_length=100).total_length == 108
+
+
+class TestTcpHeader:
+    def test_flag_predicates(self):
+        syn = TcpHeader(1, 2, flags=TCP_FLAG_SYN)
+        ack = TcpHeader(1, 2, flags=TCP_FLAG_ACK)
+        assert syn.is_syn and not syn.is_fin
+        assert not ack.is_syn
+
+
+class TestVxlanHeader:
+    def test_vni_bounds(self):
+        VxlanHeader(0)
+        VxlanHeader((1 << 24) - 1)
+        with pytest.raises(ValueError):
+            VxlanHeader(1 << 24)
+        with pytest.raises(ValueError):
+            VxlanHeader(-1)
+
+    def test_vni_in_wire_format(self):
+        raw = VxlanHeader(0xABCDEF).to_bytes()
+        assert raw[4:7] == b"\xab\xcd\xef"
+
+
+class TestChecksum:
+    def test_known_rfc1071_value(self):
+        # Example block from RFC 1071 §3.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0xFFFF - 0xDDF2
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_verify_detects_corruption(self):
+        header = IPv4Header(IP_A, IP_B, IPPROTO_UDP).to_bytes()
+        corrupted = bytes([header[0] ^ 0xFF]) + header[1:]
+        assert verify_checksum(header)
+        assert not verify_checksum(corrupted)
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_checksum_of_block_with_checksum_verifies(self, data):
+        checksum = internet_checksum(data)
+        padded = data if len(data) % 2 == 0 else data + b"\x00"
+        assert verify_checksum(padded + checksum.to_bytes(2, "big"))
+
+
+class TestFlowKey:
+    def _key(self):
+        return FlowKey(IP_A, IP_B, 1111, 2222, IPPROTO_UDP)
+
+    def test_reversed_swaps_endpoints(self):
+        key = self._key()
+        rev = key.reversed()
+        assert rev.src_ip == key.dst_ip
+        assert rev.dst_port == key.src_port
+        assert rev.reversed() == key
+
+    def test_str_is_informative(self):
+        assert "udp:10.0.0.1:1111->10.0.0.2:2222" == str(self._key())
+
+    def test_hashable(self):
+        assert {self._key(): 1}[self._key()] == 1
+
+    def test_rss_hash_deterministic(self):
+        assert rss_hash(self._key()) == rss_hash(self._key())
+
+    def test_rss_hash_direction_sensitive(self):
+        key = self._key()
+        assert rss_hash(key) != rss_hash(key.reversed())
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1),
+           st.integers(0, 65535), st.integers(0, 65535))
+    def test_rss_hash_in_range(self, src, dst, sport, dport):
+        key = FlowKey(Ipv4Address(src), Ipv4Address(dst), sport, dport, IPPROTO_UDP)
+        assert 0 <= rss_hash(key) < 2**32

@@ -1,0 +1,191 @@
+"""Unit tests for generator-based simulation processes."""
+
+import pytest
+
+from repro.sim import Process, Simulator
+
+
+def test_process_yield_int_sleeps():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        log.append(sim.now)
+        yield 100
+        log.append(sim.now)
+
+    sim.process(worker())
+    sim.run()
+    assert log == [0, 100]
+
+
+def test_process_yield_float_is_rounded():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        yield 99.6
+        log.append(sim.now)
+
+    sim.process(worker())
+    sim.run()
+    assert log == [100]
+
+
+def test_process_yield_none_is_cooperative_yield():
+    sim = Simulator()
+    log = []
+
+    def worker(name):
+        for _ in range(2):
+            log.append((sim.now, name))
+            yield None
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+    sim.run()
+    # Interleaved at the same timestamp, FIFO order.
+    assert log == [(0, "a"), (0, "b"), (0, "a"), (0, "b")]
+
+
+def test_process_waits_on_event_and_receives_value():
+    sim = Simulator()
+    event = sim.event()
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append((sim.now, value))
+
+    sim.process(waiter())
+    sim.schedule(500, lambda: event.succeed("payload"))
+    sim.run()
+    assert got == [(500, "payload")]
+
+
+def test_process_event_failure_raises_inside_generator():
+    sim = Simulator()
+    event = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter())
+    sim.schedule(10, lambda: event.fail(ValueError("bad")))
+    sim.run()
+    assert caught == ["bad"]
+
+
+def test_process_return_value_becomes_event_value():
+    sim = Simulator()
+
+    def child():
+        yield 50
+        return 42
+
+    def parent(results):
+        value = yield sim.process(child())
+        results.append(value)
+
+    results = []
+    sim.process(parent(results))
+    sim.run()
+    assert results == [42]
+
+
+def test_process_alive_transitions():
+    sim = Simulator()
+
+    def worker():
+        yield 100
+
+    proc = sim.process(worker())
+    assert proc.alive
+    sim.run()
+    assert not proc.alive
+    assert proc.triggered
+
+
+def test_process_kill_stops_execution():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        yield 100
+        log.append("should not happen")
+
+    proc = sim.process(worker())
+    sim.run(until=50)
+    proc.kill()
+    sim.run()
+    assert log == []
+    assert not proc.alive
+
+
+def test_process_kill_is_idempotent():
+    sim = Simulator()
+
+    def worker():
+        yield 100
+
+    proc = sim.process(worker())
+    proc.kill()
+    proc.kill()
+    sim.run()
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        Process(sim, lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_bad_yield_type_raises():
+    sim = Simulator()
+
+    def worker():
+        yield "nonsense"
+
+    sim.process(worker())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_two_processes_communicate_through_event():
+    sim = Simulator()
+    ready = sim.event()
+    log = []
+
+    def producer():
+        yield 30
+        ready.succeed("item")
+
+    def consumer():
+        item = yield ready
+        log.append((sim.now, item))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert log == [(30, "item")]
+
+
+def test_process_chain_sequencing():
+    sim = Simulator()
+    log = []
+
+    def stage(name, delay):
+        yield delay
+        log.append((sim.now, name))
+
+    def pipeline():
+        yield sim.process(stage("first", 10))
+        yield sim.process(stage("second", 20))
+
+    sim.process(pipeline())
+    sim.run()
+    assert log == [(10, "first"), (30, "second")]
