@@ -8,9 +8,9 @@ costs (throughput) but stall packets across stages (latency); batch size
 checks both halves of the tradeoff.
 """
 
-from conftest import attach_info
+from conftest import attach_info, run_configs
 
-from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.kernel.config import KernelConfig
 from repro.prism.mode import StackMode
@@ -19,12 +19,15 @@ from repro.sim.units import MS
 WEIGHTS = (1, 8, 64)
 
 
-def _capacity(weight):
-    result = run_experiment(ExperimentConfig(
-        mode=StackMode.VANILLA, fg_kind="flood", fg_rate_pps=500_000,
-        duration_ns=100 * MS, warmup_ns=20 * MS,
-        kernel_config=KernelConfig(napi_weight=weight)))
-    return result.fg_delivered_pps
+def _capacities():
+    results = run_configs([
+        ExperimentConfig(
+            mode=StackMode.VANILLA, fg_kind="flood", fg_rate_pps=500_000,
+            duration_ns=100 * MS, warmup_ns=20 * MS,
+            kernel_config=KernelConfig(napi_weight=weight))
+        for weight in WEIGHTS])
+    return {weight: result.fg_delivered_pps
+            for weight, result in zip(WEIGHTS, results)}
 
 
 def _kernel_latency(weight):
@@ -61,7 +64,7 @@ LATENCY_WEIGHTS = (4, 16, 64)
 
 
 def _run_all():
-    return ({w: _capacity(w) for w in WEIGHTS},
+    return (_capacities(),
             {w: _kernel_latency(w) for w in LATENCY_WEIGHTS})
 
 

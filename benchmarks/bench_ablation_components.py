@@ -12,9 +12,9 @@ alone (everything is low priority, tail scheduling — but one poll list).
 Comparing against vanilla and full PRISM separates the contributions.
 """
 
-from conftest import attach_info
+from conftest import attach_info, run_configs
 
-from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.prism.mode import StackMode
 from repro.sim.units import MS
@@ -23,20 +23,25 @@ DURATION = 250 * MS
 WARMUP = 50 * MS
 
 
-def _run(mode, high_priority):
-    return run_experiment(ExperimentConfig(
+def _config(mode, high_priority):
+    return ExperimentConfig(
         mode=mode, fg_rate_pps=1_000, bg_rate_pps=300_000,
         fg_high_priority=high_priority,
-        duration_ns=DURATION, warmup_ns=WARMUP))
+        duration_ns=DURATION, warmup_ns=WARMUP)
+
+
+VARIANTS = (
+    ("vanilla", StackMode.VANILLA, False),
+    ("streamline-only", StackMode.PRISM_BATCH, False),
+    ("full-batch", StackMode.PRISM_BATCH, True),
+    ("full-sync", StackMode.PRISM_SYNC, True),
+)
 
 
 def _run_all():
-    return {
-        "vanilla": _run(StackMode.VANILLA, False),
-        "streamline-only": _run(StackMode.PRISM_BATCH, False),
-        "full-batch": _run(StackMode.PRISM_BATCH, True),
-        "full-sync": _run(StackMode.PRISM_SYNC, True),
-    }
+    results = run_configs([_config(mode, hp) for _, mode, hp in VARIANTS])
+    return {name: result
+            for (name, _, _), result in zip(VARIANTS, results)}
 
 
 def test_ablation_prism_components(benchmark, print_table):

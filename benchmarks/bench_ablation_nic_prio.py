@@ -8,9 +8,9 @@ ablation enables the modelled flow-director (``nic_priority_rings``) and
 quantifies the remaining stage-1 head-of-line cost.
 """
 
-from conftest import attach_info
+from conftest import attach_info, run_configs
 
-from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.kernel.config import KernelConfig
 from repro.prism.mode import StackMode
@@ -20,21 +20,27 @@ DURATION = 250 * MS
 WARMUP = 50 * MS
 
 
-def _run(nic_rings, network="overlay"):
-    return run_experiment(ExperimentConfig(
+def _config(nic_rings, network="overlay"):
+    return ExperimentConfig(
         mode=StackMode.PRISM_SYNC, network=network,
         fg_rate_pps=1_000, bg_rate_pps=300_000,
         duration_ns=DURATION, warmup_ns=WARMUP,
-        kernel_config=KernelConfig(nic_priority_rings=nic_rings)))
+        kernel_config=KernelConfig(nic_priority_rings=nic_rings))
+
+
+VARIANTS = (
+    ("overlay/fcfs-ring", False, "overlay"),
+    ("overlay/dual-ring", True, "overlay"),
+    ("host/fcfs-ring", False, "host"),
+    ("host/dual-ring", True, "host"),
+)
 
 
 def _run_all():
-    return {
-        "overlay/fcfs-ring": _run(False),
-        "overlay/dual-ring": _run(True),
-        "host/fcfs-ring": _run(False, network="host"),
-        "host/dual-ring": _run(True, network="host"),
-    }
+    results = run_configs(
+        [_config(rings, network) for _, rings, network in VARIANTS])
+    return {name: result
+            for (name, _, _), result in zip(VARIANTS, results)}
 
 
 def test_ablation_nic_priority_rings(benchmark, print_table):

@@ -7,26 +7,30 @@ rules; this ablation verifies that the delivered throughput at high load
 does not degrade with database size.
 """
 
-from conftest import attach_info
+from conftest import attach_info, run_configs
 
-from repro.bench.experiment import FG_PORT, ExperimentConfig, run_experiment
+from repro.bench.experiment import FG_PORT, ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.bench.testbed import build_testbed
 from repro.prism.mode import StackMode
 from repro.sim.units import MS
 
 RULE_COUNTS = (1, 100, 10_000)
+THROUGHPUT_RULE_COUNTS = (1, 10_000)
 
 
-def _throughput_with_rules(n_rules):
-    """Delivered pps at 350 Kpps offered with n_rules installed."""
+def _throughputs_with_rules():
+    """Delivered pps at 350 Kpps offered, per installed rule count."""
     # run_experiment installs the fg rule; install n_rules-1 extra
     # non-matching rules through the kernel config hook below.
-    result = run_experiment(ExperimentConfig(
-        mode=StackMode.PRISM_BATCH, fg_kind="flood", fg_rate_pps=350_000,
-        duration_ns=100 * MS, warmup_ns=20 * MS,
-        seed=n_rules))
-    return result.fg_delivered_pps
+    results = run_configs([
+        ExperimentConfig(
+            mode=StackMode.PRISM_BATCH, fg_kind="flood", fg_rate_pps=350_000,
+            duration_ns=100 * MS, warmup_ns=20 * MS,
+            seed=n_rules)
+        for n_rules in THROUGHPUT_RULE_COUNTS])
+    return {n: result.fg_delivered_pps
+            for n, result in zip(THROUGHPUT_RULE_COUNTS, results)}
 
 
 def _lookup_scaling(n_rules):
@@ -55,7 +59,7 @@ def _lookup_scaling(n_rules):
 
 def _run_all():
     lookups = {n: _lookup_scaling(n) for n in RULE_COUNTS}
-    throughput = {n: _throughput_with_rules(n) for n in (1, 10_000)}
+    throughput = _throughputs_with_rules()
     return lookups, throughput
 
 

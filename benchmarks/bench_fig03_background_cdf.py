@@ -5,9 +5,9 @@ server increases the median per-packet latency by about 400% and the
 99th-percentile latency by about 450% compared to an idle server.
 """
 
-from conftest import attach_info, pct_change
+from conftest import attach_info, pct_change, run_configs
 
-from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.metrics.cdf import Cdf
 from repro.prism.mode import StackMode
@@ -18,12 +18,14 @@ WARMUP = 50 * MS
 
 
 def _run_pair():
-    idle = run_experiment(ExperimentConfig(
-        mode=StackMode.VANILLA, fg_rate_pps=1_000, bg_rate_pps=0,
-        duration_ns=DURATION, warmup_ns=WARMUP))
-    busy = run_experiment(ExperimentConfig(
-        mode=StackMode.VANILLA, fg_rate_pps=1_000, bg_rate_pps=300_000,
-        duration_ns=DURATION, warmup_ns=WARMUP))
+    idle, busy = run_configs([
+        ExperimentConfig(mode=StackMode.VANILLA, fg_rate_pps=1_000,
+                         bg_rate_pps=0, duration_ns=DURATION,
+                         warmup_ns=WARMUP),
+        ExperimentConfig(mode=StackMode.VANILLA, fg_rate_pps=1_000,
+                         bg_rate_pps=300_000, duration_ns=DURATION,
+                         warmup_ns=WARMUP),
+    ])
     return idle, busy
 
 

@@ -8,9 +8,9 @@ Paper, for a 300 Kpps flow with no background:
   PRISM-sync ≈ 300 Kpps (batching loss).
 """
 
-from conftest import attach_info, pct_change
+from conftest import attach_info, pct_change, run_configs
 
-from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.prism.mode import StackMode
 from repro.sim.units import MS
@@ -19,22 +19,19 @@ DURATION = 150 * MS
 WARMUP = 40 * MS
 
 
-def _latency(mode):
-    return run_experiment(ExperimentConfig(
-        mode=mode, fg_rate_pps=300_000, bg_rate_pps=0,
-        duration_ns=DURATION, warmup_ns=WARMUP))
-
-
-def _capacity(mode):
-    result = run_experiment(ExperimentConfig(
-        mode=mode, fg_kind="flood", fg_rate_pps=500_000, bg_rate_pps=0,
-        duration_ns=100 * MS, warmup_ns=20 * MS))
-    return result.fg_delivered_pps
-
-
 def _run_all():
-    latency = {mode: _latency(mode) for mode in StackMode}
-    capacity = {mode: _capacity(mode) for mode in StackMode}
+    modes = list(StackMode)
+    results = run_configs(
+        [ExperimentConfig(mode=mode, fg_rate_pps=300_000, bg_rate_pps=0,
+                          duration_ns=DURATION, warmup_ns=WARMUP)
+         for mode in modes]
+        + [ExperimentConfig(mode=mode, fg_kind="flood", fg_rate_pps=500_000,
+                            bg_rate_pps=0, duration_ns=100 * MS,
+                            warmup_ns=20 * MS)
+           for mode in modes])
+    latency = dict(zip(modes, results[:len(modes)]))
+    capacity = {mode: result.fg_delivered_pps
+                for mode, result in zip(modes, results[len(modes):])}
     return latency, capacity
 
 

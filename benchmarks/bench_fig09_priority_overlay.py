@@ -8,9 +8,9 @@ packet core and a 1 Kpps high-priority flow:
 - PRISM-batch reduces average latency nearly as well as sync, tail less.
 """
 
-from conftest import attach_info, pct_change
+from conftest import attach_info, pct_change, run_configs
 
-from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.prism.mode import StackMode
 from repro.sim.units import MS
@@ -19,15 +19,18 @@ DURATION = 300 * MS
 WARMUP = 50 * MS
 
 
-def _run(mode, bg):
-    return run_experiment(ExperimentConfig(
-        mode=mode, fg_rate_pps=1_000, bg_rate_pps=bg,
-        duration_ns=DURATION, warmup_ns=WARMUP))
+def _config(mode, bg):
+    return ExperimentConfig(mode=mode, fg_rate_pps=1_000, bg_rate_pps=bg,
+                            duration_ns=DURATION, warmup_ns=WARMUP)
 
 
 def _run_all():
-    idle = _run(StackMode.VANILLA, 0)
-    busy = {mode: _run(mode, 300_000) for mode in StackMode}
+    modes = list(StackMode)
+    results = run_configs(
+        [_config(StackMode.VANILLA, 0)]
+        + [_config(mode, 300_000) for mode in modes])
+    idle = results[0]
+    busy = dict(zip(modes, results[1:]))
     return idle, busy
 
 

@@ -6,9 +6,9 @@ because the prototype cannot differentiate priority inside the physical
 NIC driver (§IV-D) — all modes perform the same.
 """
 
-from conftest import attach_info, ratio
+from conftest import attach_info, ratio, run_configs
 
-from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.prism.mode import StackMode
 from repro.sim.units import MS
@@ -17,14 +17,14 @@ DURATION = 300 * MS
 WARMUP = 50 * MS
 
 
-def _run(mode):
-    return run_experiment(ExperimentConfig(
-        mode=mode, network="host", fg_rate_pps=1_000, bg_rate_pps=300_000,
-        duration_ns=DURATION, warmup_ns=WARMUP))
-
-
 def _run_all():
-    return {mode: _run(mode) for mode in StackMode}
+    modes = list(StackMode)
+    results = run_configs([
+        ExperimentConfig(mode=mode, network="host", fg_rate_pps=1_000,
+                         bg_rate_pps=300_000, duration_ns=DURATION,
+                         warmup_ns=WARMUP)
+        for mode in modes])
+    return dict(zip(modes, results))
 
 
 def test_fig10_host_network_no_improvement(benchmark, print_table):

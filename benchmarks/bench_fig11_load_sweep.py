@@ -9,9 +9,9 @@ Paper observations reproduced as shape checks:
   approaches vanilla's minimum, across background loads.
 """
 
-from conftest import attach_info
+from conftest import attach_info, run_configs
 
-from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.prism.mode import StackMode
 from repro.sim.units import MS, US
@@ -19,21 +19,18 @@ from repro.sim.units import MS, US
 DURATION = 200 * MS
 WARMUP = 40 * MS
 LOADS = (0, 25_000, 150_000, 300_000, 370_000, 430_000)
-
-
-def _run(mode, bg):
-    return run_experiment(ExperimentConfig(
-        mode=mode, fg_rate_pps=1_000, bg_rate_pps=bg,
-        duration_ns=DURATION, warmup_ns=WARMUP))
+MODES = (StackMode.VANILLA, StackMode.PRISM_SYNC)
 
 
 def _run_sweep():
+    results = run_configs([
+        ExperimentConfig(mode=mode, fg_rate_pps=1_000, bg_rate_pps=bg,
+                         duration_ns=DURATION, warmup_ns=WARMUP)
+        for bg in LOADS for mode in MODES])
     sweep = {}
-    for bg in LOADS:
-        sweep[bg] = {
-            StackMode.VANILLA: _run(StackMode.VANILLA, bg),
-            StackMode.PRISM_SYNC: _run(StackMode.PRISM_SYNC, bg),
-        }
+    for i, bg in enumerate(LOADS):
+        sweep[bg] = {mode: results[i * len(MODES) + j]
+                     for j, mode in enumerate(MODES)}
     return sweep
 
 

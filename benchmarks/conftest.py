@@ -10,7 +10,27 @@ roughly what factor, where crossovers fall) must hold; each table row
 carries an ok/MISMATCH verdict for its shape check.
 """
 
+import os
+
 import pytest
+
+
+def run_configs(configs):
+    """Run a figure's independent experiment batch through the shared
+    parallel/cached runner (:mod:`repro.bench.runner`).
+
+    Defaults to serial, uncached execution — identical to calling
+    ``run_experiment`` in a loop.  Opt in via the environment:
+    ``REPRO_BENCH_JOBS=4`` fans out over worker processes,
+    ``REPRO_BENCH_CACHE=1`` memoizes results on disk (keyed by config +
+    code version, so results are always current).
+    """
+    from repro.bench.runner import run_experiments
+
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+    cache = os.environ.get("REPRO_BENCH_CACHE", "").lower() not in (
+        "", "0", "no", "false")
+    return run_experiments(configs, jobs=jobs, cache=cache)
 
 
 def pct_change(new: float, old: float) -> float:

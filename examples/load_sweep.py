@@ -6,26 +6,41 @@ prints the high-priority flow's min/avg/p99 latency and the packet
 core's utilization, for vanilla and PRISM-sync.
 
 Run:
-    python examples/load_sweep.py
+    python examples/load_sweep.py [--jobs N] [--cache]
 """
 
+import argparse
+
 from repro import StackMode
-from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.experiment import ExperimentConfig
+from repro.bench.runner import run_experiments
 from repro.sim.units import MS
 
 LOADS = (0, 25_000, 100_000, 200_000, 300_000, 370_000, 430_000)
+MODES = (StackMode.VANILLA, StackMode.PRISM_SYNC)
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep (default: 1)")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse cached results for repeat runs")
+    args = parser.parse_args()
+
+    configs = [
+        ExperimentConfig(mode=mode, fg_rate_pps=1_000, bg_rate_pps=bg,
+                         duration_ns=200 * MS, warmup_ns=40 * MS)
+        for bg in LOADS for mode in MODES]
+    results = run_experiments(configs, jobs=args.jobs, cache=args.cache)
+
     print(f"{'bg kpps':>8} {'cpu':>5}  "
           f"{'vanilla min/avg/p99 (us)':>26}  {'prism min/avg/p99 (us)':>24}")
-    for bg in LOADS:
+    for i, bg in enumerate(LOADS):
         row = [f"{bg / 1000:>8.0f}"]
         cpu = 0.0
-        for mode in (StackMode.VANILLA, StackMode.PRISM_SYNC):
-            result = run_experiment(ExperimentConfig(
-                mode=mode, fg_rate_pps=1_000, bg_rate_pps=bg,
-                duration_ns=200 * MS, warmup_ns=40 * MS))
+        for j in range(len(MODES)):
+            result = results[i * len(MODES) + j]
             summary = result.fg_latency
             row.append(f"{summary.min_us:>8.0f}/{summary.avg_us:>7.0f}/"
                        f"{summary.p99_us:>7.0f}")

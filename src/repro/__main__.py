@@ -2,10 +2,13 @@
 
 Usage::
 
-    python -m repro              # list available figures
-    python -m repro fig9         # reproduce one figure
-    python -m repro all          # reproduce everything (several minutes)
-    python -m repro fig9 --quick # reduced duration (faster, noisier)
+    python -m repro                   # list available figures
+    python -m repro fig9              # reproduce one figure
+    python -m repro all               # reproduce everything (several minutes)
+    python -m repro fig9 --quick      # reduced duration (faster, noisier)
+    python -m repro fig11 --jobs 4    # fan independent experiments out
+    python -m repro fig11 --cache     # memoize results on disk
+    python -m repro fig9 --seeds 1,2,3  # repeat-run stability statistics
 """
 
 from __future__ import annotations
@@ -13,8 +16,23 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.figures import FIGURES, reproduce
+from repro.bench.figures import FIGURES, configure, reproduce
 from repro.bench.report import format_experiment_header, format_table
+
+
+def _seed_stability(seeds, jobs: int, cache: bool) -> None:
+    """Print mean/stdev stability statistics for a canonical scenario."""
+    from repro.bench.experiment import ExperimentConfig
+    from repro.bench.runner import run_repeated
+    from repro.sim.units import MS
+
+    config = ExperimentConfig(fg_rate_pps=1_000, bg_rate_pps=300_000,
+                              duration_ns=150 * MS, warmup_ns=40 * MS)
+    repeated = run_repeated(config, seeds, jobs=jobs, cache=cache)
+    print(f"stability over seeds {seeds} ({config.label()}):")
+    for metric, stat in repeated.stability.items():
+        print(f"  {metric:18s} {stat} "
+              f"(cv {stat.rel_stdev * 100:.1f}%)")
 
 
 def main(argv=None) -> int:
@@ -25,7 +43,28 @@ def main(argv=None) -> int:
                         help="figure name (e.g. fig9) or 'all'")
     parser.add_argument("--quick", action="store_true",
                         help="run at 40%% duration for a faster look")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run independent experiments over N worker "
+                        "processes (0 = one per CPU)")
+    parser.add_argument("--cache", action="store_true",
+                        help="serve repeated runs from the on-disk result "
+                        "cache (keyed by config + code version)")
+    parser.add_argument("--seeds", default=None,
+                        help="comma-separated seeds: print repeat-run "
+                        "stability statistics for a canonical scenario")
     args = parser.parse_args(argv)
+
+    configure(jobs=args.jobs, cache=args.cache)
+
+    if args.seeds:
+        try:
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        except ValueError:
+            parser.error(f"--seeds expects comma-separated integers, "
+                         f"got {args.seeds!r}")
+        _seed_stability(seeds, args.jobs, args.cache)
+        if not args.figure:
+            return 0
 
     if not args.figure:
         print("Available reproductions:\n")

@@ -7,6 +7,8 @@
   for the microbenchmarks (Figs. 3, 8–11);
 - :mod:`~repro.bench.applications` — runners for the application
   benchmarks (memcached — Fig. 12; web server — Fig. 13);
+- :mod:`~repro.bench.runner` — parallel fan-out, on-disk result caching,
+  and repeat-run stability statistics for independent experiments;
 - :mod:`~repro.bench.report` — paper-vs-measured tables.
 """
 
@@ -16,14 +18,24 @@ from repro.bench.experiment import (
     run_experiment,
 )
 from repro.bench.report import ReproRow, format_table
+from repro.bench.runner import (
+    BatchReport,
+    run_batch,
+    run_experiments,
+    run_repeated,
+)
 from repro.bench.testbed import Testbed, build_testbed
 
 __all__ = [
+    "BatchReport",
     "ExperimentConfig",
     "ExperimentResult",
     "ReproRow",
     "Testbed",
     "build_testbed",
     "format_table",
+    "run_batch",
     "run_experiment",
+    "run_experiments",
+    "run_repeated",
 ]

@@ -256,10 +256,16 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     sim.run(until=config.warmup_ns + config.duration_ns)
 
     window = config.duration_ns
-    fg_sent = counters["fg_sent"] if counters["fg_sent"] else (
-        getattr(fg_client, "sent", 0))
-    fg_replies = counters["fg_replies"] if counters["fg_replies"] else (
-        getattr(fg_client, "replies", 0))
+    # Select the counter source by network type: host runs count in the
+    # local `counters` dict, overlay runs count in the sockperf client.
+    # (Selecting by truthiness would silently fall through on a host run
+    # that legitimately sent zero packets.)
+    if config.network == "host":
+        fg_sent = counters["fg_sent"]
+        fg_replies = counters["fg_replies"]
+    else:
+        fg_sent = getattr(fg_client, "sent", 0)
+        fg_replies = getattr(fg_client, "replies", 0)
     return ExperimentResult(
         config=config,
         fg_latency=recorder.summary(),

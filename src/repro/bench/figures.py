@@ -16,14 +16,30 @@ from repro.bench.applications import (
     run_memcached_benchmark,
     run_webserver_benchmark,
 )
-from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow
+from repro.bench.runner import run_experiments
 from repro.prism.mode import StackMode
 from repro.sim.units import MS
 
-__all__ = ["FIGURES", "reproduce"]
+__all__ = ["FIGURES", "configure", "reproduce"]
 
 Result = Tuple[str, List[ReproRow]]
+
+#: Execution knobs set by the CLI (``--jobs`` / ``--cache``): every figure
+#: that runs multiple independent experiments fans them out through
+#: :func:`repro.bench.runner.run_experiments` with these settings.
+_RUN = {"jobs": 1, "cache": False}
+
+
+def configure(*, jobs: int = 1, cache: bool = False) -> None:
+    """Set parallelism/caching for subsequent ``reproduce_*`` calls."""
+    _RUN["jobs"] = jobs
+    _RUN["cache"] = cache
+
+
+def _run_all(configs):
+    return run_experiments(configs, jobs=_RUN["jobs"], cache=_RUN["cache"])
 
 
 def _pct(new: float, old: float) -> float:
@@ -33,11 +49,12 @@ def _pct(new: float, old: float) -> float:
 def reproduce_fig3(scale: float = 1.0) -> Result:
     """Latency with vs without background traffic (vanilla)."""
     duration = int(250 * MS * scale)
-    idle = run_experiment(ExperimentConfig(
-        fg_rate_pps=1_000, duration_ns=duration, warmup_ns=50 * MS))
-    busy = run_experiment(ExperimentConfig(
-        fg_rate_pps=1_000, bg_rate_pps=300_000,
-        duration_ns=duration, warmup_ns=50 * MS))
+    idle, busy = _run_all([
+        ExperimentConfig(fg_rate_pps=1_000, duration_ns=duration,
+                         warmup_ns=50 * MS),
+        ExperimentConfig(fg_rate_pps=1_000, bg_rate_pps=300_000,
+                         duration_ns=duration, warmup_ns=50 * MS),
+    ])
     median_up = _pct(busy.fg_latency.p50_ns, idle.fg_latency.p50_ns)
     tail_up = _pct(busy.fg_latency.p99_ns, idle.fg_latency.p99_ns)
     rows = [
@@ -93,16 +110,21 @@ def reproduce_fig6(scale: float = 1.0) -> Result:
 def reproduce_fig8(scale: float = 1.0) -> Result:
     """Latency at 300 Kpps + per-core max throughput, all modes."""
     duration = int(150 * MS * scale)
+    modes = list(StackMode)
+    results = _run_all(
+        [ExperimentConfig(mode=mode, fg_rate_pps=300_000,
+                          duration_ns=duration, warmup_ns=40 * MS)
+         for mode in modes]
+        + [ExperimentConfig(mode=mode, fg_kind="flood", fg_rate_pps=500_000,
+                            duration_ns=int(100 * MS * scale),
+                            warmup_ns=20 * MS)
+           for mode in modes])
     lines = []
     latencies = {}
     capacities = {}
-    for mode in StackMode:
-        latency = run_experiment(ExperimentConfig(
-            mode=mode, fg_rate_pps=300_000,
-            duration_ns=duration, warmup_ns=40 * MS))
-        capacity = run_experiment(ExperimentConfig(
-            mode=mode, fg_kind="flood", fg_rate_pps=500_000,
-            duration_ns=int(100 * MS * scale), warmup_ns=20 * MS))
+    for i, mode in enumerate(modes):
+        latency = results[i]
+        capacity = results[len(modes) + i]
         latencies[mode] = latency.fg_latency
         capacities[mode] = capacity.fg_delivered_pps
         lines.append(f"{mode.value:12s} latency {latency.fg_latency} | "
@@ -126,12 +148,14 @@ def reproduce_fig8(scale: float = 1.0) -> Result:
 def reproduce_fig9(scale: float = 1.0) -> Result:
     """High-priority overlay latency vs a 300 Kpps background."""
     duration = int(300 * MS * scale)
+    modes = list(StackMode)
+    batch = _run_all([
+        ExperimentConfig(mode=mode, fg_rate_pps=1_000, bg_rate_pps=300_000,
+                         duration_ns=duration, warmup_ns=50 * MS)
+        for mode in modes])
     lines = []
     results = {}
-    for mode in StackMode:
-        result = run_experiment(ExperimentConfig(
-            mode=mode, fg_rate_pps=1_000, bg_rate_pps=300_000,
-            duration_ns=duration, warmup_ns=50 * MS))
+    for mode, result in zip(modes, batch):
         results[mode] = result.fg_latency
         lines.append(f"{mode.value:12s} {result.fg_latency}")
     sync = results[StackMode.PRISM_SYNC]
@@ -150,18 +174,65 @@ def reproduce_fig9(scale: float = 1.0) -> Result:
 def reproduce_fig10(scale: float = 1.0) -> Result:
     """Host network: PRISM cannot help (stage-1 limitation)."""
     duration = int(300 * MS * scale)
+    modes = (StackMode.VANILLA, StackMode.PRISM_SYNC)
+    batch = _run_all([
+        ExperimentConfig(mode=mode, network="host", fg_rate_pps=1_000,
+                         bg_rate_pps=300_000, duration_ns=duration,
+                         warmup_ns=50 * MS)
+        for mode in modes])
     results = {}
     lines = []
-    for mode in (StackMode.VANILLA, StackMode.PRISM_SYNC):
-        result = run_experiment(ExperimentConfig(
-            mode=mode, network="host", fg_rate_pps=1_000,
-            bg_rate_pps=300_000, duration_ns=duration, warmup_ns=50 * MS))
+    for mode, result in zip(modes, batch):
         results[mode] = result.fg_latency
         lines.append(f"{mode.value:12s} {result.fg_latency}")
     ratio = (results[StackMode.PRISM_SYNC].avg_ns
              / results[StackMode.VANILLA].avg_ns)
     rows = [ReproRow("sync avg vs vanilla (host)", "no improvement",
                      f"{ratio:.2f}x", 0.9 < ratio < 1.15)]
+    return "\n".join(lines), rows
+
+
+def reproduce_fig11(scale: float = 1.0) -> Result:
+    """High-priority latency vs background load (the load sweep)."""
+    duration = int(200 * MS * scale)
+    loads = (0, 25_000, 150_000, 300_000, 430_000)
+    modes = (StackMode.VANILLA, StackMode.PRISM_SYNC)
+    batch = _run_all([
+        ExperimentConfig(mode=mode, fg_rate_pps=1_000, bg_rate_pps=bg,
+                         duration_ns=duration, warmup_ns=40 * MS)
+        for mode in modes for bg in loads])
+    sweep = {}
+    for i, mode in enumerate(modes):
+        for j, bg in enumerate(loads):
+            sweep[(mode, bg)] = batch[i * len(loads) + j]
+    van_mid = sweep[(StackMode.VANILLA, 300_000)].fg_latency
+    syn_mid = sweep[(StackMode.PRISM_SYNC, 300_000)].fg_latency
+    overload = sweep[(StackMode.VANILLA, 430_000)].fg_latency
+    rows = [
+        ReproRow("overload explosion", "1-2 ms",
+                 f"avg {overload.avg_us / 1000:.2f} ms",
+                 overload.avg_ns > 500_000),
+        ReproRow("PRISM tail ~ vanilla avg (300K)",
+                 "p99(prism) close to avg(vanilla)",
+                 f"{syn_mid.p99_us:.0f} vs {van_mid.avg_us:.0f} us",
+                 syn_mid.p99_ns < van_mid.avg_ns * 1.4),
+        ReproRow("PRISM helps at every non-overloaded load",
+                 "avg(prism) <= avg(vanilla)",
+                 "yes" if all(
+                     sweep[(StackMode.PRISM_SYNC, bg)].fg_latency.avg_ns
+                     <= sweep[(StackMode.VANILLA, bg)].fg_latency.avg_ns
+                     * 1.05 for bg in loads[:-1]) else "no",
+                 all(sweep[(StackMode.PRISM_SYNC, bg)].fg_latency.avg_ns
+                     <= sweep[(StackMode.VANILLA, bg)].fg_latency.avg_ns
+                     * 1.05 for bg in loads[:-1])),
+    ]
+    lines = [f"{'bg kpps':>8} {'van avg/p99':>18} {'prism avg/p99':>18}"]
+    for bg in loads:
+        van = sweep[(StackMode.VANILLA, bg)].fg_latency
+        syn = sweep[(StackMode.PRISM_SYNC, bg)].fg_latency
+        lines.append(f"{bg / 1000:>8.0f} "
+                     f"{van.avg_us:>8.0f}/{van.p99_us:>8.0f} "
+                     f"{syn.avg_us:>8.0f}/{syn.p99_us:>8.0f}")
     return "\n".join(lines), rows
 
 
@@ -220,6 +291,7 @@ FIGURES: Dict[str, Tuple[str, Callable[[float], Result]]] = {
     "fig8": ("streamlined processing: latency + throughput", reproduce_fig8),
     "fig9": ("priority differentiation, overlay", reproduce_fig9),
     "fig10": ("priority differentiation, host network", reproduce_fig10),
+    "fig11": ("latency vs background load sweep", reproduce_fig11),
     "fig12": ("memcached under background", reproduce_fig12),
     "fig13": ("web server under background", reproduce_fig13),
 }

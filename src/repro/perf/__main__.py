@@ -1,0 +1,128 @@
+"""CLI for the perf harness.
+
+Usage::
+
+    python -m repro.perf                  # full suite, append to BENCH files
+    python -m repro.perf --quick          # reduced rounds (CI smoke)
+    python -m repro.perf --engine-only
+    python -m repro.perf --experiments-only
+    python -m repro.perf --label fastlane # tag the recorded run
+
+Each invocation appends one labelled run to ``BENCH_engine.json`` and/or
+``BENCH_experiments.json`` (in the current directory unless
+``--out-dir`` is given).  The first run in a file is the baseline;
+subsequent runs record ``speedup_vs_first`` on the headline metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.perf.engine_bench import run_engine_suite
+from repro.perf.experiment_bench import run_experiment_suite
+
+ENGINE_FILE = "BENCH_engine.json"
+EXPERIMENTS_FILE = "BENCH_experiments.json"
+
+
+def _load(path: Path) -> Dict[str, object]:
+    if path.exists():
+        with path.open() as fh:
+            return json.load(fh)
+    return {"schema": 1, "runs": []}
+
+
+def _append_run(path: Path, run: Dict[str, object],
+                headline_key: str) -> Dict[str, object]:
+    doc = _load(path)
+    runs = doc["runs"]
+    if runs:
+        first = runs[0].get(headline_key)
+        current = run.get(headline_key)
+        if isinstance(first, (int, float)) and isinstance(
+                current, (int, float)) and first:
+            # For time-valued headlines smaller is better, so invert.
+            if headline_key.endswith("_seconds"):
+                run["speedup_vs_first"] = first / current if current else 0.0
+            else:
+                run["speedup_vs_first"] = current / first
+    runs.append(run)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return run
+
+
+def _meta(label: Optional[str], quick: bool) -> Dict[str, object]:
+    return {
+        "label": label or "unlabelled",
+        "quick": quick,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.perf",
+                                     description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced rounds/durations (CI smoke)")
+    parser.add_argument("--engine-only", action="store_true")
+    parser.add_argument("--experiments-only", action="store_true")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel worker count for the experiment suite")
+    parser.add_argument("--label", default=None,
+                        help="label recorded with this run")
+    parser.add_argument("--out-dir", default=".",
+                        help="directory holding the BENCH_*.json files")
+    args = parser.parse_args(argv)
+    if args.engine_only and args.experiments_only:
+        parser.error("--engine-only and --experiments-only are mutually "
+                     "exclusive (omit both to run everything)")
+
+    out_dir = Path(args.out_dir)
+    run_engine = not args.experiments_only
+    run_experiments = not args.engine_only
+    ok = True
+
+    if run_engine:
+        suite = run_engine_suite(quick=args.quick)
+        run = {**_meta(args.label, args.quick), **suite}
+        run = _append_run(out_dir / ENGINE_FILE, run,
+                          "canonical_events_per_sec")
+        eps = suite["canonical_events_per_sec"]
+        speedup = run.get("speedup_vs_first")
+        extra = f"  ({speedup:.2f}x vs baseline)" if speedup else ""
+        print(f"engine: {suite['canonical']} = {eps:,.0f} events/sec{extra}")
+        for name, stats in suite["workloads"].items():
+            print(f"  {name:20s} {stats['events_per_sec']:>12,.0f} ev/s "
+                  f"({stats['seconds'] * 1e3:.1f} ms)")
+
+    if run_experiments:
+        suite = run_experiment_suite(quick=args.quick, jobs=args.jobs)
+        run = {**_meta(args.label, args.quick), **suite}
+        run = _append_run(out_dir / EXPERIMENTS_FILE, run, "serial_seconds")
+        print(f"experiments: {suite['configs']} configs | "
+              f"serial {suite['serial_seconds']:.2f}s | "
+              f"parallel(x{suite['jobs']}) {suite['parallel_seconds']:.2f}s "
+              f"({suite['parallel_speedup']:.2f}x) | "
+              f"cached {suite['cached_seconds']:.2f}s "
+              f"({suite['cache_hits_on_second_run']} hits)")
+        if not suite["results_identical_serial_parallel_cached"]:
+            print("ERROR: serial/parallel/cached results differ — "
+                  "determinism contract broken", file=sys.stderr)
+            ok = False
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Engine microbenchmark suite — events/sec of the bare simulator."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.perf.workloads import CANONICAL, ENGINE_WORKLOADS, run_workload
+
+__all__ = ["run_engine_suite"]
+
+
+def run_engine_suite(*, quick: bool = False) -> Dict[str, object]:
+    """Run every engine workload; the canonical one is the headline."""
+    workloads: Dict[str, Dict[str, float]] = {}
+    for name in ENGINE_WORKLOADS:
+        workloads[name] = run_workload(name, quick=quick)
+    return {
+        "canonical": CANONICAL,
+        "canonical_events_per_sec": workloads[CANONICAL]["events_per_sec"],
+        "workloads": workloads,
+    }

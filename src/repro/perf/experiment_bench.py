@@ -1,0 +1,72 @@
+"""End-to-end experiment-runner benchmark: serial vs parallel vs cached.
+
+The workload is a reduced-duration Fig. 11 load sweep (vanilla and
+PRISM-sync across background loads) — the exact shape every figure script
+runs dozens of times.  Three measurements:
+
+- **serial** — ``jobs=1``, no cache: the pre-runner status quo;
+- **parallel** — ``jobs=N`` into a cold cache: the fan-out win;
+- **cached** — the same batch again: every result served from disk.
+
+The parallel results are digest-compared against the serial ones; a
+mismatch means the determinism contract broke and the numbers are
+meaningless, so the harness reports it loudly.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.experiment import ExperimentConfig
+from repro.bench.runner import result_digest, run_batch
+from repro.prism.mode import StackMode
+from repro.sim.units import MS
+
+__all__ = ["sweep_configs", "run_experiment_suite"]
+
+
+def sweep_configs(*, quick: bool = False) -> List[ExperimentConfig]:
+    """The canonical Fig. 11-shaped sweep at reduced duration."""
+    if quick:
+        loads = (0, 150_000, 300_000)
+        duration, warmup = 20 * MS, 5 * MS
+    else:
+        loads = (0, 25_000, 150_000, 300_000)
+        duration, warmup = 50 * MS, 10 * MS
+    return [
+        ExperimentConfig(mode=mode, fg_rate_pps=1_000, bg_rate_pps=bg,
+                         duration_ns=duration, warmup_ns=warmup)
+        for mode in (StackMode.VANILLA, StackMode.PRISM_SYNC)
+        for bg in loads
+    ]
+
+
+def run_experiment_suite(*, quick: bool = False,
+                         jobs: int = 4) -> Dict[str, object]:
+    configs = sweep_configs(quick=quick)
+    with tempfile.TemporaryDirectory(prefix="prism-perf-cache-") as tmp:
+        cache_dir = Path(tmp)
+        serial = run_batch(configs, jobs=1, cache=False)
+        parallel = run_batch(configs, jobs=jobs, cache=True,
+                             cache_dir=cache_dir)
+        cached = run_batch(configs, jobs=jobs, cache=True,
+                           cache_dir=cache_dir)
+
+    serial_digests = [result_digest(r) for r in serial.results]
+    parallel_digests = [result_digest(r) for r in parallel.results]
+    cached_digests = [result_digest(r) for r in cached.results]
+    identical = (serial_digests == parallel_digests == cached_digests)
+
+    return {
+        "configs": len(configs),
+        "jobs": jobs,
+        "serial_seconds": serial.wall_seconds,
+        "parallel_seconds": parallel.wall_seconds,
+        "parallel_speedup": (serial.wall_seconds / parallel.wall_seconds
+                             if parallel.wall_seconds else 0.0),
+        "cached_seconds": cached.wall_seconds,
+        "cache_hits_on_second_run": cached.cache_hits,
+        "results_identical_serial_parallel_cached": identical,
+    }

@@ -1,0 +1,154 @@
+"""Synthetic engine workloads for the perf harness.
+
+Each workload builds a fresh :class:`~repro.sim.Simulator`, drives a
+deterministic occurrence pattern, and returns ``(occurrences, seconds)``
+where *occurrences* is the exact number of processed heap occurrences
+(computed analytically from the pattern, so the metric is engine-agnostic)
+and *seconds* is the measured wall-clock.  ``events/sec = occurrences /
+seconds`` is the number every run of the harness records.
+
+The patterns mirror what dominates real experiment runs:
+
+- ``napi_timer_storm`` — the canonical NAPI-heavy mix: short softirq-scale
+  timers (60–800 ns), one event signal per round, and a cancelled
+  interrupt-moderation timer per round (mlx5-style 45 µs rearm that almost
+  always gets cancelled by the next packet);
+- ``cancellation_flood`` — a flood of timers of which 95 % are cancelled
+  before firing (stresses heap bloat / lazy compaction);
+- ``event_chain`` — pure event signal/dispatch throughput;
+- ``process_churn`` — spawning and retiring many short-lived processes
+  (stresses Event/Process allocation).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.sim import Simulator
+
+__all__ = ["ENGINE_WORKLOADS", "CANONICAL", "run_workload"]
+
+
+def napi_timer_storm(rounds: int) -> Tuple[int, float]:
+    """Short-delay timers + signalled events + a cancelled timer per round."""
+    sim = Simulator()
+
+    def softirq():
+        for _ in range(rounds):
+            yield 800                      # net_rx_action dispatch delay
+            rearm = sim.schedule(45_000, _noop)  # irq moderation timer
+            yield 240                      # napi_poll overhead
+            rearm.cancel()                 # next packet cancels the rearm
+            wakeup = sim.event()
+            sim.schedule(60, wakeup.succeed)
+            yield wakeup
+
+    sim.process(softirq())
+    started = time.perf_counter()
+    sim.run()
+    seconds = time.perf_counter() - started
+    # Per round: timeout(800), timeout(240), the scheduled succeed call,
+    # and the wakeup event itself; plus process bootstrap and final resume.
+    return 4 * rounds + 2, seconds
+
+
+def cancellation_flood(rounds: int) -> Tuple[int, float]:
+    """95 % of scheduled timers are cancelled before they can fire."""
+    sim = Simulator()
+    live_per_round = 1
+    cancelled_per_round = 19
+
+    def ticker():
+        for i in range(rounds):
+            handles = [sim.schedule(500_000 + 64 * j, _noop)
+                       for j in range(cancelled_per_round)]
+            yield 300
+            for handle in handles:
+                handle.cancel()
+
+    sim.process(ticker())
+    started = time.perf_counter()
+    sim.run()
+    seconds = time.perf_counter() - started
+    return live_per_round * rounds + 2, seconds
+
+
+def event_chain(rounds: int) -> Tuple[int, float]:
+    """A relay of processes signalling each other through events."""
+    sim = Simulator()
+
+    def relay():
+        for _ in range(rounds):
+            done = sim.event()
+            sim.schedule(0, done.succeed, 42)
+            value = yield done
+            assert value == 42
+
+    sim.process(relay())
+    started = time.perf_counter()
+    sim.run()
+    seconds = time.perf_counter() - started
+    # Per round: the scheduled succeed call + the event processing.
+    return 2 * rounds + 2, seconds
+
+
+def process_churn(rounds: int) -> Tuple[int, float]:
+    """Spawn many short-lived processes (two yields each)."""
+    sim = Simulator()
+
+    def worker():
+        yield 100
+        yield 100
+
+    def spawner():
+        for _ in range(rounds):
+            yield sim.process(worker())
+
+    sim.process(spawner())
+    started = time.perf_counter()
+    sim.run()
+    seconds = time.perf_counter() - started
+    # Per round: worker bootstrap, two timeouts, worker-done event,
+    # spawner resume rides on it (no own occurrence).
+    return 4 * rounds + 2, seconds
+
+
+def _noop() -> None:
+    pass
+
+
+#: name -> (workload, default rounds, quick rounds)
+ENGINE_WORKLOADS: Dict[str, Tuple[Callable[[int], Tuple[int, float]],
+                                  int, int]] = {
+    "napi_timer_storm": (napi_timer_storm, 60_000, 4_000),
+    "cancellation_flood": (cancellation_flood, 12_000, 1_000),
+    "event_chain": (event_chain, 80_000, 5_000),
+    "process_churn": (process_churn, 40_000, 3_000),
+}
+
+#: The workload whose events/sec is the headline (acceptance) number.
+CANONICAL = "napi_timer_storm"
+
+
+def run_workload(name: str, *, quick: bool = False,
+                 repeats: int = 3) -> Dict[str, float]:
+    """Run one workload *repeats* times and report the best run.
+
+    Best-of-N is the standard microbenchmark estimator: scheduling noise
+    only ever makes a run slower, never faster.
+    """
+    workload, rounds, quick_rounds = ENGINE_WORKLOADS[name]
+    n = quick_rounds if quick else rounds
+    workload(max(200, n // 20))  # warm up allocator and code paths
+    best_seconds = float("inf")
+    occurrences = 0
+    for _ in range(repeats):
+        occurrences, seconds = workload(n)
+        best_seconds = min(best_seconds, seconds)
+    return {
+        "rounds": float(n),
+        "occurrences": float(occurrences),
+        "seconds": best_seconds,
+        "events_per_sec": occurrences / best_seconds,
+    }

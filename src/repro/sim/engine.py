@@ -1,27 +1,71 @@
-"""The discrete-event simulator core.
+"""The discrete-event simulator core — fast lane.
 
-:class:`Simulator` owns an integer-nanosecond virtual clock and a binary
-heap of pending occurrences.  Two kinds of occurrence exist:
+:class:`Simulator` owns an integer-nanosecond virtual clock and a pending
+set of *occurrences*.  Every occurrence — a plain callback registered with
+:meth:`Simulator.schedule` or a triggered
+:class:`~repro.sim.events.Event` — is stored as one uniform entry
+``[time, seq, fn, args]``, so the hot loop dispatches through a single
+indirect call with no per-occurrence ``isinstance``.
 
-- *scheduled calls* — plain callbacks registered with :meth:`Simulator.schedule`;
-- *events* — :class:`~repro.sim.events.Event` instances whose callbacks run
-  when the event is processed.
+Storage is a hierarchical timer wheel with a binary-heap overflow:
+
+- **level 0**: 64 slots of 4.096 µs — the softirq/NAPI delay range that
+  dominates real workloads.  Insertion is a plain ``list.append``.
+- **level 1**: 64 slots of 262.144 µs (horizon ≈ 16.8 ms).  When the
+  level-0 cursor crosses into a new level-1 slot, that slot's entries
+  cascade down into level 0.
+- **overflow heap**: anything beyond the wheel horizon (long experiment
+  timers, end-of-warmup marks).
+
+The slot currently being drained is kept as a small binary heap
+(``_cur``), so exact ``(time, seq)`` order inside a slot — and therefore
+FIFO tie-breaking at equal timestamps — is identical to a single global
+heap.  The main loop merges ``_cur`` with the overflow heap by comparing
+their minima, which preserves total order across both structures.
+
+Cancellation is O(1) (``entry[fn] = None``); dead entries are skipped when
+popped.  Because flood workloads can cancel far-future timers that would
+otherwise bloat the pending set for their full delay, the simulator
+compacts lazily: when cancelled entries outnumber live ones (beyond a
+minimum threshold) every structure is filtered in place.
 
 Determinism: occurrences at the same timestamp run in the order they were
 scheduled (a monotonically increasing sequence number breaks ties).  Given
 the same seed and the same sequence of API calls, a simulation is exactly
-reproducible — a property the PRISM poll-order experiments depend on.
+reproducible — a property the PRISM poll-order experiments and the
+experiment result cache both depend on.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Generator, List, Optional
 
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
 
 __all__ = ["Simulator", "ScheduledCall", "SimulationError"]
+
+# Uniform entry layout: [time, seq, fn, args].  seq is unique, so list
+# comparison never reaches the (uncomparable) fn/args fields.
+_TIME = 0
+_SEQ = 1
+_FN = 2
+_ARGS = 3
+
+# Timer-wheel geometry.  Level 0: 64 slots x 4.096 us; level 1: 64 slots
+# x 262.144 us.  64 level-0 slots fit exactly one level-1 slot, so the
+# cascade boundary is `slot_number % 64 == 0`.
+_L0_SHIFT = 12
+_L0_SLOTS = 64
+_L0_MASK = _L0_SLOTS - 1
+_L1_SHIFT = _L0_SHIFT + 6
+_L1_SLOTS = 64
+_L1_MASK = _L1_SLOTS - 1
+
+# Compaction trigger: at least this many cancelled entries *and* more
+# cancelled than live.
+_COMPACT_MIN = 512
 
 
 class SimulationError(RuntimeError):
@@ -31,25 +75,50 @@ class SimulationError(RuntimeError):
 class ScheduledCall:
     """Handle for a callback registered via :meth:`Simulator.schedule`.
 
-    Supports O(1) cancellation: cancelled entries stay in the heap but are
-    skipped when popped.
+    Supports O(1) cancellation: the underlying entry is marked dead in
+    place and skipped when it surfaces.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("_entry", "_sim", "_cancelled")
 
-    def __init__(self, time: int, fn: Callable[..., Any], args: Tuple[Any, ...]) -> None:
-        self.time = time
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
+    def __init__(self, entry: list, sim: "Simulator") -> None:
+        self._entry = entry
+        self._sim = sim
+        self._cancelled = False
+
+    @property
+    def time(self) -> int:
+        return self._entry[_TIME]
+
+    @property
+    def fn(self) -> Optional[Callable[..., Any]]:
+        return self._entry[_FN]
+
+    @property
+    def args(self) -> tuple:
+        return self._entry[_ARGS]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
-        self.cancelled = True
+        if self._cancelled:
+            return
+        self._cancelled = True
+        entry = self._entry
+        if entry[_FN] is not None:  # not yet executed
+            entry[_FN] = None
+            entry[_ARGS] = ()
+            self._sim._note_cancel()
 
     def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<ScheduledCall t={self.time} {getattr(self.fn, '__name__', self.fn)} {state}>"
+        fn = self._entry[_FN]
+        state = ("cancelled" if self._cancelled else
+                 "done" if fn is None else "pending")
+        label = f" {getattr(fn, '__name__', fn)}" if fn is not None else ""
+        return f"<ScheduledCall t={self._entry[_TIME]}{label} {state}>"
 
 
 class Simulator:
@@ -57,35 +126,69 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Tuple[int, int, object]] = []
         self._seq = 0
         self._running = False
         self._processes: List[Process] = []
+        # Occurrence storage: current-slot mini-heap, two wheel levels,
+        # and the long-delay overflow heap.
+        self._cur: List[list] = []
+        self._heap: List[list] = []
+        self._l0: List[List[list]] = [[] for _ in range(_L0_SLOTS)]
+        self._l1: List[List[list]] = [[] for _ in range(_L1_SLOTS)]
+        self._l0_count = 0
+        self._l1_count = 0
+        self._drain_sn = 0  # absolute level-0 slot number feeding _cur
+        self._n_cancelled = 0
 
     # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
-    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+    def schedule(self, delay: int, fn: Callable[..., Any],
+                 *args: Any) -> ScheduledCall:
         """Run ``fn(*args)`` after *delay* nanoseconds.  Returns a handle."""
-        return self.schedule_at(self.now + int(delay), fn, *args)
+        time = self.now + int(delay)
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}")
+        return ScheduledCall(self._push(time, fn, args), self)
 
-    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+    def schedule_at(self, time: int, fn: Callable[..., Any],
+                    *args: Any) -> ScheduledCall:
         """Run ``fn(*args)`` at absolute virtual time *time*."""
         time = int(time)
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}")
-        call = ScheduledCall(time, fn, args)
-        self._push(time, call)
-        return call
+        return ScheduledCall(self._push(time, fn, args), self)
 
     def _schedule_event(self, event: Event, delay: int = 0) -> None:
         """Queue a triggered event for processing (internal API)."""
-        self._push(self.now + delay, event)
+        self._push(self.now + delay, event._process, ())
 
-    def _push(self, time: int, item: object) -> None:
+    def _push(self, time: int, fn: Callable[..., Any], args: tuple) -> list:
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, item))
+        entry = [time, self._seq, fn, args]
+        if not self._l0_count and not self._l1_count and not self._cur:
+            # Wheel empty: re-anchor it at the clock so short delays keep
+            # landing in cheap slots after long quiet gaps.
+            self._drain_sn = self.now >> _L0_SHIFT
+        sn = time >> _L0_SHIFT
+        dsn = sn - self._drain_sn
+        if dsn <= 0:
+            # Current (or re-anchored past) slot: ordered insertion into
+            # the active mini-heap keeps the global order exact.
+            heappush(self._cur, entry)
+        elif dsn < _L0_SLOTS:
+            self._l0[sn & _L0_MASK].append(entry)
+            self._l0_count += 1
+        else:
+            sn1 = time >> _L1_SHIFT
+            if sn1 - (self._drain_sn >> 6) < _L1_SLOTS:
+                self._l1[sn1 & _L1_MASK].append(entry)
+                self._l1_count += 1
+            else:
+                heappush(self._heap, entry)
+        return entry
 
     # ------------------------------------------------------------------
     # Event / process construction helpers
@@ -105,33 +208,126 @@ class Simulator:
         return proc
 
     # ------------------------------------------------------------------
+    # Timer-wheel internals
+    # ------------------------------------------------------------------
+    def _cascade(self, sn1: int) -> None:
+        """Move one level-1 slot's entries down into level 0."""
+        index = sn1 & _L1_MASK
+        bucket = self._l1[index]
+        if not bucket:
+            return
+        self._l1[index] = []
+        self._l1_count -= len(bucket)
+        l0 = self._l0
+        for entry in bucket:
+            l0[(entry[_TIME] >> _L0_SHIFT) & _L0_MASK].append(entry)
+        self._l0_count += len(bucket)
+
+    def _advance(self) -> None:
+        """Make ``_cur`` the earliest non-empty wheel slot.
+
+        Precondition: ``_cur`` is empty and the wheel holds entries.
+        """
+        l0 = self._l0
+        while True:
+            if not self._l0_count:
+                # Level 0 drained: fast-forward to the next populated
+                # level-1 slot instead of walking empty slots one by one.
+                sn1 = self._drain_sn >> 6
+                for hop in range(1, _L1_SLOTS + 1):
+                    if self._l1[(sn1 + hop) & _L1_MASK]:
+                        break
+                else:
+                    raise SimulationError("timer wheel accounting corrupted")
+                self._drain_sn = ((sn1 + hop) << 6) - 1
+            self._drain_sn += 1
+            sn = self._drain_sn
+            if not sn & _L0_MASK and self._l1_count:
+                self._cascade(sn >> 6)
+            index = sn & _L0_MASK
+            bucket = l0[index]
+            if bucket:
+                l0[index] = []
+                self._l0_count -= len(bucket)
+                heapify(bucket)
+                self._cur = bucket
+                return
+
+    def _min_source(self) -> Optional[List[list]]:
+        """The structure holding the globally minimal entry, or None."""
+        cur = self._cur
+        if not cur and (self._l0_count or self._l1_count):
+            self._advance()
+            cur = self._cur
+        heap = self._heap
+        if cur:
+            if heap and heap[0] < cur[0]:
+                return heap
+            return cur
+        return heap if heap else None
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Entries awaiting processing (including not-yet-reaped cancels)."""
+        return (len(self._cur) + len(self._heap)
+                + self._l0_count + self._l1_count)
+
+    def _note_cancel(self) -> None:
+        self._n_cancelled += 1
+        if (self._n_cancelled >= _COMPACT_MIN
+                and self._n_cancelled * 2 >= self.pending_count):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry from every structure."""
+        self._cur = [e for e in self._cur if e[_FN] is not None]
+        heapify(self._cur)
+        # In-place so aliases of the overflow heap stay valid.
+        self._heap[:] = [e for e in self._heap if e[_FN] is not None]
+        heapify(self._heap)
+        for level, attr in ((self._l0, "_l0_count"), (self._l1, "_l1_count")):
+            count = 0
+            for i, bucket in enumerate(level):
+                if bucket:
+                    level[i] = [e for e in bucket if e[_FN] is not None]
+                    count += len(level[i])
+            setattr(self, attr, count)
+        self._n_cancelled = 0
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def peek(self) -> Optional[int]:
         """Virtual time of the next live occurrence, or None if empty."""
-        while self._heap:
-            time, _seq, item = self._heap[0]
-            if isinstance(item, ScheduledCall) and item.cancelled:
-                heapq.heappop(self._heap)
+        while True:
+            src = self._min_source()
+            if src is None:
+                return None
+            entry = src[0]
+            if entry[_FN] is None:
+                heappop(src)
+                self._n_cancelled -= 1
                 continue
-            return time
-        return None
+            return entry[_TIME]
 
     def step(self) -> bool:
         """Process one occurrence.  Returns False when the queue is empty."""
-        while self._heap:
-            time, _seq, item = heapq.heappop(self._heap)
-            if isinstance(item, ScheduledCall):
-                if item.cancelled:
-                    continue
-                self.now = time
-                item.fn(*item.args)
-                return True
-            # Event
-            self.now = time
-            item._process()  # type: ignore[union-attr]
+        while True:
+            src = self._min_source()
+            if src is None:
+                return False
+            entry = heappop(src)
+            fn = entry[_FN]
+            if fn is None:
+                self._n_cancelled -= 1
+                continue
+            entry[_FN] = None
+            self.now = entry[_TIME]
+            fn(*entry[_ARGS])
             return True
-        return False
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains or the clock passes *until* (ns).
@@ -143,18 +339,37 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        # The heap list object is stable (compaction filters in place),
+        # so hoist the attribute loads out of the hot loop.
+        heap = self._heap
         try:
             while True:
-                next_time = self.peek()
-                if next_time is None:
+                cur = self._cur
+                if not cur and (self._l0_count or self._l1_count):
+                    self._advance()
+                    cur = self._cur
+                if cur:
+                    src = heap if heap and heap[0] < cur[0] else cur
+                elif heap:
+                    src = heap
+                else:
                     break
-                if until is not None and next_time > until:
+                entry = src[0]
+                fn = entry[_FN]
+                if fn is None:
+                    heappop(src)
+                    self._n_cancelled -= 1
+                    continue
+                if until is not None and entry[_TIME] > until:
                     break
-                self.step()
+                heappop(src)
+                entry[_FN] = None
+                self.now = entry[_TIME]
+                fn(*entry[_ARGS])
             if until is not None and until > self.now:
                 self.now = until
         finally:
             self._running = False
 
     def __repr__(self) -> str:
-        return f"<Simulator now={self.now} pending={len(self._heap)}>"
+        return f"<Simulator now={self.now} pending={self.pending_count}>"

@@ -8,6 +8,10 @@ The separation between *triggered* (scheduled to fire) and *processed*
 (callbacks have run) mirrors SimPy and lets an event be succeeded "now"
 while its waiters still resume in deterministic FIFO order through the main
 event queue.
+
+All event classes are slotted: experiment runs allocate events at packet
+rate (every timeout, every wakeup), so avoiding a per-instance ``__dict__``
+measurably cuts both allocation time and memory.
 """
 
 from __future__ import annotations
@@ -31,6 +35,9 @@ class Event:
     name:
         Optional label used in ``repr`` for debugging.
     """
+
+    __slots__ = ("sim", "name", "callbacks", "_value", "_exception",
+                 "_triggered")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:  # noqa: F821
         self.sim = sim
@@ -107,6 +114,15 @@ class Event:
         else:
             self.callbacks.append(callback)
 
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Detach one occurrence of *callback* if still pending.  No-op if
+        the callback is not attached or the event has been processed."""
+        if self.callbacks is not None:
+            try:
+                self.callbacks.remove(callback)
+            except ValueError:
+                pass
+
     def _process(self) -> None:
         """Run callbacks.  Called by the simulator's event loop."""
         callbacks, self.callbacks = self.callbacks, None
@@ -128,6 +144,8 @@ class Timeout(Event):
     time and fires at ``sim.now + delay``.
     """
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: int, value: Any = None,  # noqa: F821
                  name: str = "") -> None:
         if delay < 0:
@@ -144,7 +162,14 @@ class AnyOf(Event):
 
     The value is the event that fired first.  Failure of a constituent
     event fails the AnyOf with the same exception.
+
+    Once the winner fires, the ``_on_child`` callback is detached from the
+    losing children: a long-lived loser (an idle socket's wakeup event, a
+    background process) must not pin a completed AnyOf — and transitively
+    its winner's value — in memory for the rest of the simulation.
     """
+
+    __slots__ = ("events",)
 
     def __init__(self, sim: "Simulator", events: List[Event],  # noqa: F821
                  name: str = "") -> None:
@@ -158,6 +183,9 @@ class AnyOf(Event):
     def _on_child(self, event: Event) -> None:
         if self._triggered:
             return
+        for loser in self.events:
+            if loser is not event:
+                loser.remove_callback(self._on_child)
         if event.ok:
             self.succeed(event)
         else:

@@ -14,6 +14,13 @@ yields one of:
 A process is itself an Event that succeeds with the generator's return
 value, so processes can be joined or combined with
 :class:`~repro.sim.events.AnyOf`.
+
+Sleeps are the hot path: kernel models yield integer delays at packet
+rate.  A plain delay needs no observable Event — nothing can wait on it —
+so :meth:`Process._dispatch` pushes the resume occurrence straight onto
+the simulator queue instead of building a Timeout.  The push consumes the
+same sequence number a Timeout's would, so event ordering is bit-identical
+to the allocating path.
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ class ProcessKilled(Exception):
 class Process(Event):
     """An event that drives a generator coroutine to completion."""
 
+    __slots__ = ("_generator", "_waiting_on", "_alive")
+
     def __init__(self, sim: "Simulator", generator: Generator,  # noqa: F821
                  name: str = "") -> None:
         super().__init__(sim, name=name or getattr(generator, "__name__", ""))
@@ -43,9 +52,7 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         self._alive = True
         # Kick off on the next event-loop iteration at the current time.
-        self._bootstrap = sim.event(name=f"bootstrap:{self.name}")
-        self._bootstrap.add_callback(self._resume)
-        self._bootstrap.succeed()
+        sim._push(sim.now, self._sleep_resume, ())
 
     @property
     def alive(self) -> bool:
@@ -71,6 +78,7 @@ class Process(Event):
     # Generator driving
     # ------------------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        """Resume after *event* fired (attached as its callback)."""
         if not self._alive:
             return
         self._waiting_on = None
@@ -85,24 +93,49 @@ class Process(Event):
         except ProcessKilled:
             self._finish(None)
             return
-        self._wait_on(self._coerce(target))
+        self._dispatch(target)
 
-    def _coerce(self, target: Any) -> Event:
+    def _sleep_resume(self) -> None:
+        """Resume after a plain delay (pushed directly, no Event)."""
+        if not self._alive:
+            return
+        try:
+            target = self._generator.send(None)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except ProcessKilled:
+            self._finish(None)
+            return
+        self._dispatch(target)
+
+    def _dispatch(self, target: Any) -> None:
+        """Arrange to resume once *target* is due."""
+        if target.__class__ is int:  # hot path: plain integer sleep
+            if target < 0:
+                raise ValueError(
+                    f"process {self.name!r} yielded a negative delay "
+                    f"{target}")
+            sim = self.sim
+            sim._push(sim.now + target, self._sleep_resume, ())
+            return
         if target is None:
-            return self.sim.timeout(0, name=f"yield:{self.name}")
+            sim = self.sim
+            sim._push(sim.now, self._sleep_resume, ())
+            return
         if isinstance(target, Event):
-            return target
-        if isinstance(target, int):
-            return self.sim.timeout(target)
+            self._waiting_on = target
+            target.add_callback(self._resume)
+            return
         if isinstance(target, float):
-            return self.sim.timeout(int(round(target)))
+            self._dispatch(int(round(target)))
+            return
+        if isinstance(target, int):  # bool / int subclass, off the hot path
+            self._dispatch(int(target))
+            return
         raise TypeError(
             f"process {self.name!r} yielded unsupported value {target!r}; "
             "yield an int delay, an Event, a Process, or None")
-
-    def _wait_on(self, event: Event) -> None:
-        self._waiting_on = event
-        event.add_callback(self._resume)
 
     def _finish(self, value: Any) -> None:
         self._alive = False
