@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Emit a markdown table comparing two BENCH_engine.json files.
+
+Usage: bench_delta.py <baseline.json> <current.json>
+
+Compares the most recent run in each file workload-by-workload and
+prints GitHub-flavoured markdown (intended for $GITHUB_STEP_SUMMARY).
+Informational only — CI perf boxes are too noisy to gate on; the
+enforced 3% budget is checked on dedicated hardware instead.
+"""
+
+import json
+import sys
+
+
+def latest_run(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    runs = doc.get("runs") or []
+    if not runs:
+        raise SystemExit(f"{path}: no runs recorded")
+    return runs[-1]
+
+
+def main(argv):
+    if len(argv) != 3:
+        raise SystemExit(__doc__)
+    baseline = latest_run(argv[1])
+    current = latest_run(argv[2])
+
+    print("### Engine microbenchmark vs committed baseline")
+    print()
+    print(f"baseline: `{baseline.get('label', '?')}` "
+          f"({baseline.get('timestamp', '?')}, "
+          f"quick={baseline.get('quick')}) — "
+          f"current: `{current.get('label', '?')}` "
+          f"(quick={current.get('quick')})")
+    print()
+    print("| workload | baseline ev/s | current ev/s | delta |")
+    print("|---|---:|---:|---:|")
+    base_wl = baseline.get("workloads", {})
+    cur_wl = current.get("workloads", {})
+    for name in sorted(set(base_wl) | set(cur_wl)):
+        old = base_wl.get(name, {}).get("events_per_sec")
+        new = cur_wl.get(name, {}).get("events_per_sec")
+        if old and new:
+            delta = f"{(new - old) / old * 100:+.1f}%"
+        else:
+            delta = "n/a"
+        fmt = lambda v: f"{v:,.0f}" if v else "—"
+        print(f"| {name} | {fmt(old)} | {fmt(new)} | {delta} |")
+    print()
+    print("_Different machines (CI runner vs baseline box): deltas are "
+          "informational, not a gate._")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,10 +10,8 @@ checks both halves of the tradeoff.
 
 from conftest import attach_info, run_configs
 
-from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
-from repro.kernel.config import KernelConfig
-from repro.prism.mode import StackMode
+from repro.scenario import Scenario
 from repro.sim.units import MS
 
 WEIGHTS = (1, 8, 64)
@@ -21,10 +19,10 @@ WEIGHTS = (1, 8, 64)
 
 def _capacities():
     results = run_configs([
-        ExperimentConfig(
-            mode=StackMode.VANILLA, fg_kind="flood", fg_rate_pps=500_000,
-            duration_ns=100 * MS, warmup_ns=20 * MS,
-            kernel_config=KernelConfig(napi_weight=weight))
+        Scenario(mode="vanilla")
+        .foreground("flood", rate_pps=500_000)
+        .timing(duration_ns=100 * MS, warmup_ns=20 * MS)
+        .kernel(napi_weight=weight)
         for weight in WEIGHTS])
     return {weight: result.fg_delivered_pps
             for weight, result in zip(WEIGHTS, results)}
@@ -40,7 +38,9 @@ def _kernel_latency(weight):
     """
     from repro.apps.sockperf import SockperfUdpFlood, SockperfUdpServer
     from repro.bench.testbed import build_testbed
+    from repro.kernel.config import KernelConfig
     from repro.metrics.stats import summarize_ns
+    from repro.prism.mode import StackMode
     from repro.trace.latency import KernelLatencyProbe
     from repro.trace.tracer import Tracer
 

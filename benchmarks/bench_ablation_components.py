@@ -14,9 +14,9 @@ Comparing against vanilla and full PRISM separates the contributions.
 
 from conftest import attach_info, run_configs
 
-from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.prism.mode import StackMode
+from repro.scenario import Scenario
 from repro.sim.units import MS
 
 DURATION = 250 * MS
@@ -24,10 +24,11 @@ WARMUP = 50 * MS
 
 
 def _config(mode, high_priority):
-    return ExperimentConfig(
-        mode=mode, fg_rate_pps=1_000, bg_rate_pps=300_000,
-        fg_high_priority=high_priority,
-        duration_ns=DURATION, warmup_ns=WARMUP)
+    return (Scenario(mode=mode)
+            .foreground("pingpong", rate_pps=1_000,
+                        high_priority=high_priority)
+            .background(rate_pps=300_000)
+            .timing(duration_ns=DURATION, warmup_ns=WARMUP))
 
 
 VARIANTS = (

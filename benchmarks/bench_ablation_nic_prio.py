@@ -10,10 +10,8 @@ quantifies the remaining stage-1 head-of-line cost.
 
 from conftest import attach_info, run_configs
 
-from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
-from repro.kernel.config import KernelConfig
-from repro.prism.mode import StackMode
+from repro.scenario import Scenario
 from repro.sim.units import MS
 
 DURATION = 250 * MS
@@ -21,11 +19,11 @@ WARMUP = 50 * MS
 
 
 def _config(nic_rings, network="overlay"):
-    return ExperimentConfig(
-        mode=StackMode.PRISM_SYNC, network=network,
-        fg_rate_pps=1_000, bg_rate_pps=300_000,
-        duration_ns=DURATION, warmup_ns=WARMUP,
-        kernel_config=KernelConfig(nic_priority_rings=nic_rings))
+    return (Scenario(mode="prism-sync", network=network)
+            .foreground("pingpong", rate_pps=1_000)
+            .background(rate_pps=300_000)
+            .timing(duration_ns=DURATION, warmup_ns=WARMUP)
+            .kernel(nic_priority_rings=nic_rings))
 
 
 VARIANTS = (

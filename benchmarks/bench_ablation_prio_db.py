@@ -9,10 +9,11 @@ does not degrade with database size.
 
 from conftest import attach_info, run_configs
 
-from repro.bench.experiment import FG_PORT, ExperimentConfig
+from repro.bench.experiment import FG_PORT
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.bench.testbed import build_testbed
 from repro.prism.mode import StackMode
+from repro.scenario import Scenario
 from repro.sim.units import MS
 
 RULE_COUNTS = (1, 100, 10_000)
@@ -24,10 +25,9 @@ def _throughputs_with_rules():
     # run_experiment installs the fg rule; install n_rules-1 extra
     # non-matching rules through the kernel config hook below.
     results = run_configs([
-        ExperimentConfig(
-            mode=StackMode.PRISM_BATCH, fg_kind="flood", fg_rate_pps=350_000,
-            duration_ns=100 * MS, warmup_ns=20 * MS,
-            seed=n_rules)
+        Scenario(mode="prism-batch")
+        .foreground("flood", rate_pps=350_000)
+        .timing(duration_ns=100 * MS, warmup_ns=20 * MS, seed=n_rules)
         for n_rules in THROUGHPUT_RULE_COUNTS])
     return {n: result.fg_delivered_pps
             for n, result in zip(THROUGHPUT_RULE_COUNTS, results)}

@@ -7,10 +7,9 @@ server increases the median per-packet latency by about 400% and the
 
 from conftest import attach_info, pct_change, run_configs
 
-from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.metrics.cdf import Cdf
-from repro.prism.mode import StackMode
+from repro.scenario import Scenario
 from repro.sim.units import MS
 
 DURATION = 250 * MS
@@ -18,14 +17,10 @@ WARMUP = 50 * MS
 
 
 def _run_pair():
-    idle, busy = run_configs([
-        ExperimentConfig(mode=StackMode.VANILLA, fg_rate_pps=1_000,
-                         bg_rate_pps=0, duration_ns=DURATION,
-                         warmup_ns=WARMUP),
-        ExperimentConfig(mode=StackMode.VANILLA, fg_rate_pps=1_000,
-                         bg_rate_pps=300_000, duration_ns=DURATION,
-                         warmup_ns=WARMUP),
-    ])
+    base = (Scenario(mode="vanilla")
+            .foreground("pingpong", rate_pps=1_000)
+            .timing(duration_ns=DURATION, warmup_ns=WARMUP))
+    idle, busy = run_configs([base, base.background(rate_pps=300_000)])
     return idle, busy
 
 

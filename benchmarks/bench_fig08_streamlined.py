@@ -10,9 +10,9 @@ Paper, for a 300 Kpps flow with no background:
 
 from conftest import attach_info, pct_change, run_configs
 
-from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.prism.mode import StackMode
+from repro.scenario import Scenario
 from repro.sim.units import MS
 
 DURATION = 150 * MS
@@ -22,12 +22,11 @@ WARMUP = 40 * MS
 def _run_all():
     modes = list(StackMode)
     results = run_configs(
-        [ExperimentConfig(mode=mode, fg_rate_pps=300_000, bg_rate_pps=0,
-                          duration_ns=DURATION, warmup_ns=WARMUP)
+        [Scenario(mode=mode).foreground("pingpong", rate_pps=300_000)
+         .timing(duration_ns=DURATION, warmup_ns=WARMUP)
          for mode in modes]
-        + [ExperimentConfig(mode=mode, fg_kind="flood", fg_rate_pps=500_000,
-                            bg_rate_pps=0, duration_ns=100 * MS,
-                            warmup_ns=20 * MS)
+        + [Scenario(mode=mode).foreground("flood", rate_pps=500_000)
+           .timing(duration_ns=100 * MS, warmup_ns=20 * MS)
            for mode in modes])
     latency = dict(zip(modes, results[:len(modes)]))
     capacity = {mode: result.fg_delivered_pps

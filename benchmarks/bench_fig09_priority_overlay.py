@@ -10,9 +10,9 @@ packet core and a 1 Kpps high-priority flow:
 
 from conftest import attach_info, pct_change, run_configs
 
-from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.prism.mode import StackMode
+from repro.scenario import Scenario
 from repro.sim.units import MS
 
 DURATION = 300 * MS
@@ -20,8 +20,9 @@ WARMUP = 50 * MS
 
 
 def _config(mode, bg):
-    return ExperimentConfig(mode=mode, fg_rate_pps=1_000, bg_rate_pps=bg,
-                            duration_ns=DURATION, warmup_ns=WARMUP)
+    return (Scenario(mode=mode).foreground("pingpong", rate_pps=1_000)
+            .background(rate_pps=bg)
+            .timing(duration_ns=DURATION, warmup_ns=WARMUP))
 
 
 def _run_all():

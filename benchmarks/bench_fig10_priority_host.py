@@ -8,9 +8,9 @@ NIC driver (§IV-D) — all modes perform the same.
 
 from conftest import attach_info, ratio, run_configs
 
-from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.prism.mode import StackMode
+from repro.scenario import Scenario
 from repro.sim.units import MS
 
 DURATION = 300 * MS
@@ -20,9 +20,10 @@ WARMUP = 50 * MS
 def _run_all():
     modes = list(StackMode)
     results = run_configs([
-        ExperimentConfig(mode=mode, network="host", fg_rate_pps=1_000,
-                         bg_rate_pps=300_000, duration_ns=DURATION,
-                         warmup_ns=WARMUP)
+        Scenario(mode=mode, network="host")
+        .foreground("pingpong", rate_pps=1_000)
+        .background(rate_pps=300_000)
+        .timing(duration_ns=DURATION, warmup_ns=WARMUP)
         for mode in modes])
     return dict(zip(modes, results))
 

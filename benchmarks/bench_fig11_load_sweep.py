@@ -11,9 +11,9 @@ Paper observations reproduced as shape checks:
 
 from conftest import attach_info, run_configs
 
-from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow, format_experiment_header, format_table
 from repro.prism.mode import StackMode
+from repro.scenario import Scenario
 from repro.sim.units import MS, US
 
 DURATION = 200 * MS
@@ -24,8 +24,9 @@ MODES = (StackMode.VANILLA, StackMode.PRISM_SYNC)
 
 def _run_sweep():
     results = run_configs([
-        ExperimentConfig(mode=mode, fg_rate_pps=1_000, bg_rate_pps=bg,
-                         duration_ns=DURATION, warmup_ns=WARMUP)
+        Scenario(mode=mode).foreground("pingpong", rate_pps=1_000)
+        .background(rate_pps=bg)
+        .timing(duration_ns=DURATION, warmup_ns=WARMUP)
         for bg in LOADS for mode in MODES])
     sweep = {}
     for i, bg in enumerate(LOADS):

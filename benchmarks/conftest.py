@@ -17,20 +17,44 @@ import pytest
 
 def run_configs(configs):
     """Run a figure's independent experiment batch through the shared
-    parallel/cached runner (:mod:`repro.bench.runner`).
+    parallel/cached runner — accepts Scenario objects or raw configs.
 
     Defaults to serial, uncached execution — identical to calling
     ``run_experiment`` in a loop.  Opt in via the environment:
     ``REPRO_BENCH_JOBS=4`` fans out over worker processes,
     ``REPRO_BENCH_CACHE=1`` memoizes results on disk (keyed by config +
-    code version, so results are always current).
+    code version, so results are always current), and
+    ``REPRO_BENCH_TRACE=<dir>`` additionally re-runs the first scenario
+    of each batch with the observability layer attached and drops a
+    Perfetto-loadable Chrome trace into ``<dir>``.
     """
-    from repro.bench.runner import run_experiments
+    from repro.scenario import run_scenarios
 
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
     cache = os.environ.get("REPRO_BENCH_CACHE", "").lower() not in (
         "", "0", "no", "false")
-    return run_experiments(configs, jobs=jobs, cache=cache)
+    results = run_scenarios(configs, jobs=jobs, cache=cache)
+
+    trace_dir = os.environ.get("REPRO_BENCH_TRACE", "")
+    if trace_dir and configs:
+        _write_trace(configs[0], trace_dir)
+    return results
+
+
+def _write_trace(scenario, trace_dir: str) -> None:
+    """Traced re-run of *scenario*; writes ``<dir>/<label>-<seed>.json``."""
+    import re
+    from pathlib import Path
+
+    from repro.bench.experiment import run_traced_experiment
+    from repro.scenario import Scenario
+
+    config = scenario.build() if isinstance(scenario, Scenario) else scenario
+    traced = run_traced_experiment(config)
+    out = Path(trace_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9.-]+", "_", config.label())
+    traced.write_chrome(out / f"{slug}-s{config.seed}.json")
 
 
 def pct_change(new: float, old: float) -> float:

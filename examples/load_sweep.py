@@ -12,8 +12,7 @@ Run:
 import argparse
 
 from repro import StackMode
-from repro.bench.experiment import ExperimentConfig
-from repro.bench.runner import run_experiments
+from repro.scenario import Scenario, run_scenarios
 from repro.sim.units import MS
 
 LOADS = (0, 25_000, 100_000, 200_000, 300_000, 370_000, 430_000)
@@ -28,11 +27,12 @@ def main() -> None:
                         help="reuse cached results for repeat runs")
     args = parser.parse_args()
 
-    configs = [
-        ExperimentConfig(mode=mode, fg_rate_pps=1_000, bg_rate_pps=bg,
-                         duration_ns=200 * MS, warmup_ns=40 * MS)
+    scenarios = [
+        Scenario(mode=mode).foreground("pingpong", rate_pps=1_000)
+        .background(rate_pps=bg)
+        .timing(duration_ns=200 * MS, warmup_ns=40 * MS)
         for bg in LOADS for mode in MODES]
-    results = run_experiments(configs, jobs=args.jobs, cache=args.cache)
+    results = run_scenarios(scenarios, jobs=args.jobs, cache=args.cache)
 
     print(f"{'bg kpps':>8} {'cpu':>5}  "
           f"{'vanilla min/avg/p99 (us)':>26}  {'prism min/avg/p99 (us)':>24}")

@@ -1,61 +1,45 @@
 #!/usr/bin/env python3
 """Quickstart: measure how PRISM protects a latency-sensitive flow.
 
-Builds the paper's two-machine container-overlay testbed, runs a
-1 Kpps high-priority ping-pong flow against a 300 Kpps low-priority
-background flood, and compares the vanilla kernel with PRISM-sync.
+Runs the paper's headline scenario through the Scenario API: a 1 Kpps
+high-priority ping-pong flow against a 300 Kpps low-priority background
+flood on the two-machine container-overlay testbed, comparing the
+vanilla kernel with both PRISM modes.  Then re-runs the vanilla case
+with the observability layer attached and prints the Fig. 4 per-stage
+latency breakdown (pass an output path to also write a Perfetto trace).
 
 Run:
-    python examples/quickstart.py
+    python examples/quickstart.py [trace-out.json]
 """
 
-from repro import StackMode, build_testbed
-from repro.apps import SockperfUdpClient, SockperfUdpFlood, SockperfUdpServer
+import sys
+
+from repro.scenario import Scenario
 from repro.sim.units import MS
 
 
-def measure(mode: StackMode) -> str:
-    # One fully simulated server host + a coarse client machine,
-    # connected point-to-point, with a VXLAN overlay spanning both.
-    testbed = build_testbed(mode=mode, seed=7)
-
-    # Containers: a latency-sensitive server, its client, and a pair
-    # carrying bulk background traffic.
-    fg_server = testbed.add_server_container("fg-server", "10.0.0.10")
-    fg_client = testbed.add_client_container("fg-client", "10.0.0.100")
-    bg_server = testbed.add_server_container("bg-server", "10.0.0.11")
-    bg_client = testbed.add_client_container("bg-client", "10.0.0.101")
-
-    # The latency-sensitive application: sockperf ping-pong at 1 Kpps.
-    SockperfUdpServer(fg_server, 5000, core_id=1)
-    ping = SockperfUdpClient(
-        testbed.sim, testbed.client, testbed.overlay, fg_client,
-        "10.0.0.10", 5000, rate_pps=1_000, src_port=30001,
-        warmup_until_ns=50 * MS)
-
-    # The background: a bursty 300 Kpps UDP flood (60-70% of the
-    # packet-processing core).
-    SockperfUdpServer(bg_server, 6000, core_id=2, reply=False)
-    SockperfUdpFlood(testbed.sim, testbed.client, testbed.overlay,
-                     bg_client, "10.0.0.11", 6000,
-                     rate_pps=300_000, src_port=30002, burst=96)
-
-    # Mark the latency-sensitive flow high-priority, exactly the way an
-    # operator would on the paper's prototype: via procfs.
-    testbed.server.kernel.procfs.write("/proc/prism/priority",
-                                       "add 10.0.0.10 5000")
-
-    testbed.sim.run(until=300 * MS)
-    return f"{mode.value:12s} {ping.recorder.summary()}"
-
-
 def main() -> None:
+    base = (Scenario(network="overlay", seed=7)
+            .foreground("pingpong", rate_pps=1_000)
+            .background(rate_pps=300_000)
+            .timing(duration_ns=250 * MS, warmup_ns=50 * MS))
+
     print("High-priority flow latency under 300 Kpps background:\n")
-    for mode in (StackMode.VANILLA, StackMode.PRISM_BATCH,
-                 StackMode.PRISM_SYNC):
-        print(measure(mode))
+    for mode in ("vanilla", "prism-batch", "prism-sync"):
+        result = base.mode(mode).run()
+        print(f"{mode:12s} {result.fg_latency}")
     print("\nPRISM-sync should cut both average and tail latency by ~50%"
           " (paper Fig. 9).")
+
+    # Where does the vanilla latency come from?  Trace one run and
+    # decompose it per pipeline stage (paper Fig. 4).
+    traced = base.run_traced()
+    print("\nPer-stage breakdown of the vanilla run (Fig. 4):\n")
+    print(traced.breakdown.render())
+    if len(sys.argv) > 1:
+        path = traced.write_chrome(sys.argv[1])
+        print(f"\nChrome trace written to {path} — load it at "
+              "https://ui.perfetto.dev")
 
 
 if __name__ == "__main__":

@@ -9,6 +9,9 @@ Usage::
     python -m repro fig11 --jobs 4    # fan independent experiments out
     python -m repro fig11 --cache     # memoize results on disk
     python -m repro fig9 --seeds 1,2,3  # repeat-run stability statistics
+    python -m repro --trace out.json  # traced canonical run: Fig. 4
+                                      # breakdown + Perfetto-loadable JSON
+    python -m repro --trace out.json --mode prism-sync --bg 300000
 """
 
 from __future__ import annotations
@@ -20,19 +23,42 @@ from repro.bench.figures import FIGURES, configure, reproduce
 from repro.bench.report import format_experiment_header, format_table
 
 
-def _seed_stability(seeds, jobs: int, cache: bool) -> None:
-    """Print mean/stdev stability statistics for a canonical scenario."""
-    from repro.bench.experiment import ExperimentConfig
-    from repro.bench.runner import run_repeated
+def _canonical_scenario(mode: str, bg_rate_pps: float):
+    """The canonical stress scenario (--seeds / --trace runs)."""
+    from repro.scenario import Scenario
     from repro.sim.units import MS
 
-    config = ExperimentConfig(fg_rate_pps=1_000, bg_rate_pps=300_000,
-                              duration_ns=150 * MS, warmup_ns=40 * MS)
+    return (Scenario(mode=mode)
+            .foreground("pingpong", rate_pps=1_000)
+            .background(rate_pps=bg_rate_pps)
+            .timing(duration_ns=150 * MS, warmup_ns=40 * MS))
+
+
+def _seed_stability(seeds, jobs: int, cache: bool, mode: str,
+                    bg_rate_pps: float) -> None:
+    """Print mean/stdev stability statistics for a canonical scenario."""
+    from repro.bench.runner import run_repeated
+
+    config = _canonical_scenario(mode, bg_rate_pps).build()
     repeated = run_repeated(config, seeds, jobs=jobs, cache=cache)
     print(f"stability over seeds {seeds} ({config.label()}):")
     for metric, stat in repeated.stability.items():
         print(f"  {metric:18s} {stat} "
               f"(cv {stat.rel_stdev * 100:.1f}%)")
+
+
+def _traced_run(path: str, mode: str, bg_rate_pps: float) -> None:
+    """Run the canonical scenario traced; write Chrome JSON, print Fig. 4."""
+    scenario = _canonical_scenario(mode, bg_rate_pps)
+    traced = scenario.run_traced()
+    out = traced.write_chrome(path)
+    print(f"[{scenario.label()}] {traced.result.fg_latency}")
+    print(f"\nPer-stage latency breakdown (paper Fig. 4):\n")
+    print(traced.breakdown.render())
+    print(f"\nrecorded {traced.recorder.recorded} events "
+          f"({traced.recorder.evicted} evicted); "
+          f"Chrome trace written to {out}")
+    print("Load it at https://ui.perfetto.dev or chrome://tracing.")
 
 
 def main(argv=None) -> int:
@@ -52,9 +78,25 @@ def main(argv=None) -> int:
     parser.add_argument("--seeds", default=None,
                         help="comma-separated seeds: print repeat-run "
                         "stability statistics for a canonical scenario")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="run the canonical scenario with the "
+                        "observability layer attached, print the per-stage "
+                        "latency breakdown (paper Fig. 4), and write a "
+                        "Chrome/Perfetto trace to OUT.json")
+    parser.add_argument("--mode", default="vanilla",
+                        help="stack mode for --trace/--seeds runs "
+                        "(vanilla, prism-batch, prism-sync)")
+    parser.add_argument("--bg", type=float, default=300_000, metavar="PPS",
+                        help="background flood rate for --trace/--seeds "
+                        "runs (default: 300000 pps)")
     args = parser.parse_args(argv)
 
     configure(jobs=args.jobs, cache=args.cache)
+
+    if args.trace:
+        _traced_run(args.trace, args.mode, args.bg)
+        if not (args.figure or args.seeds):
+            return 0
 
     if args.seeds:
         try:
@@ -62,7 +104,7 @@ def main(argv=None) -> int:
         except ValueError:
             parser.error(f"--seeds expects comma-separated integers, "
                          f"got {args.seeds!r}")
-        _seed_stability(seeds, args.jobs, args.cache)
+        _seed_stability(seeds, args.jobs, args.cache, args.mode, args.bg)
         if not args.figure:
             return 0
 

@@ -10,8 +10,9 @@ utilization of the packet-processing core, and drop counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, fields as dataclass_fields
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.apps.sockperf import (
     SockperfUdpClient,
@@ -28,18 +29,45 @@ from repro.metrics.recorder import (
     ThroughputMeter,
 )
 from repro.metrics.stats import LatencySummary, summarize_ns
+from repro.obs import (
+    DEFAULT_GAUGE_INTERVAL_NS,
+    KernelObserver,
+    StageBreakdown,
+    write_chrome_trace,
+)
+from repro.obs.recorder import FlightRecorder
 from repro.prism.mode import StackMode
 from repro.sim.units import MS, SEC
+from repro.trace.tracer import Tracer
 
-__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment"]
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "TraceOptions",
+    "TracedExperiment",
+    "run_experiment",
+    "run_traced_experiment",
+]
 
 FG_PORT = 11111
 BG_PORT = 12222
 
+#: Bump when the to_dict()/from_dict() wire format changes.
+SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """One microbenchmark scenario."""
+    """One microbenchmark scenario (the frozen, hashable form).
+
+    .. note::
+       Prefer building configs through :class:`repro.scenario.Scenario`
+       — this dataclass is kept as the thin frozen view the runner,
+       cache, and serialization layers operate on.  Its field set is
+       part of the disk-cache key (:func:`repro.bench.runner.config_key`
+       hashes it), so fields must not be renamed or reordered casually;
+       Scenario produces byte-identical instances.
+    """
 
     mode: StackMode = StackMode.VANILLA
     #: "overlay" (3-stage container pipeline) or "host" (single stage).
@@ -70,6 +98,59 @@ class ExperimentConfig:
         busy = f"+bg{self.bg_rate_pps / 1000:.0f}k" if self.bg_rate_pps else ""
         return f"{self.network}/{self.mode}{busy}"
 
+    # ------------------------------------------------------------------
+    # Versioned serialization (the disk cache's wire format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict that :meth:`from_dict` round-trips exactly."""
+        out: Dict[str, Any] = {"version": SCHEMA_VERSION}
+        for f in dataclass_fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, StackMode):
+                value = str(value)
+            elif isinstance(value, (CostModel, KernelConfig)):
+                value = _frozen_to_dict(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
+        version = data.get("version", SCHEMA_VERSION)
+        if version > SCHEMA_VERSION:
+            raise ValueError(f"config schema v{version} is newer than "
+                             f"this code (v{SCHEMA_VERSION})")
+        kwargs = {k: v for k, v in data.items() if k != "version"}
+        kwargs["mode"] = StackMode.parse(kwargs["mode"])
+        if kwargs.get("costs") is not None:
+            kwargs["costs"] = _frozen_from_dict(CostModel, kwargs["costs"])
+        if kwargs.get("kernel_config") is not None:
+            kwargs["kernel_config"] = _frozen_from_dict(
+                KernelConfig, kwargs["kernel_config"])
+        return cls(**kwargs)
+
+
+def _frozen_to_dict(value: Union[CostModel, KernelConfig]) -> Dict[str, Any]:
+    """Serialize a frozen knob dataclass field-by-field."""
+    out: Dict[str, Any] = {}
+    for f in dataclass_fields(value):
+        v = getattr(value, f.name)
+        if isinstance(v, StackMode):
+            v = str(v)
+        elif isinstance(v, tuple):
+            v = [list(x) if isinstance(x, tuple) else x for x in v]
+        out[f.name] = v
+    return out
+
+
+def _frozen_from_dict(cls: type, data: Dict[str, Any]) -> Any:
+    kwargs = dict(data)
+    if "initial_mode" in kwargs:
+        kwargs["initial_mode"] = StackMode.parse(kwargs["initial_mode"])
+    if "cstate_levels" in kwargs:
+        kwargs["cstate_levels"] = tuple(
+            tuple(level) for level in kwargs["cstate_levels"])
+    return cls(**kwargs)
+
 
 @dataclass
 class ExperimentResult:
@@ -85,6 +166,9 @@ class ExperimentResult:
     cpu_utilization: float
     softirq_fraction: float
     drops: Dict[str, int] = field(default_factory=dict)
+    #: Fig. 4-style per-stage decomposition (dict form of
+    #: :class:`repro.obs.StageBreakdown`); populated by traced runs only.
+    stage_breakdown: Optional[Dict[str, Any]] = None
 
     def __str__(self) -> str:
         latency = str(self.fg_latency) if self.fg_latency else "no samples"
@@ -92,6 +176,56 @@ class ExperimentResult:
                 f"fg={self.fg_delivered_pps / 1000:.0f}kpps "
                 f"bg={self.bg_delivered_pps / 1000:.0f}kpps "
                 f"cpu={self.cpu_utilization * 100:.0f}%")
+
+    # ------------------------------------------------------------------
+    # Versioned serialization (the disk cache's wire format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict that :meth:`from_dict` round-trips exactly.
+
+        Replaces the ad-hoc pickle serialization the disk cache used:
+        the format is versioned, inspectable, and stable across Python
+        versions (floats survive via JSON's repr round-trip).
+        """
+        latency = None
+        if self.fg_latency is not None:
+            latency = {f.name: getattr(self.fg_latency, f.name)
+                       for f in dataclass_fields(self.fg_latency)}
+        return {
+            "version": SCHEMA_VERSION,
+            "config": self.config.to_dict(),
+            "fg_latency": latency,
+            "fg_samples_ns": list(self.fg_samples_ns),
+            "fg_sent": self.fg_sent,
+            "fg_replies": self.fg_replies,
+            "fg_delivered_pps": self.fg_delivered_pps,
+            "bg_delivered_pps": self.bg_delivered_pps,
+            "cpu_utilization": self.cpu_utilization,
+            "softirq_fraction": self.softirq_fraction,
+            "drops": dict(self.drops),
+            "stage_breakdown": self.stage_breakdown,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        version = data.get("version", SCHEMA_VERSION)
+        if version > SCHEMA_VERSION:
+            raise ValueError(f"result schema v{version} is newer than "
+                             f"this code (v{SCHEMA_VERSION})")
+        latency = data["fg_latency"]
+        return cls(
+            config=ExperimentConfig.from_dict(data["config"]),
+            fg_latency=LatencySummary(**latency) if latency else None,
+            fg_samples_ns=list(data["fg_samples_ns"]),
+            fg_sent=data["fg_sent"],
+            fg_replies=data["fg_replies"],
+            fg_delivered_pps=data["fg_delivered_pps"],
+            bg_delivered_pps=data["bg_delivered_pps"],
+            cpu_utilization=data["cpu_utilization"],
+            softirq_fraction=data["softirq_fraction"],
+            drops=dict(data["drops"]),
+            stage_breakdown=data.get("stage_breakdown"),
+        )
 
 
 def _host_network_setup(testbed: Testbed, config: ExperimentConfig,
@@ -232,11 +366,31 @@ def _overlay_setup(testbed: Testbed, config: ExperimentConfig,
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Build the scenario, simulate it, and collect the measurements."""
+    """Build the scenario, simulate it, and collect the measurements.
+
+    Keep this a plain single-argument function: the parallel runner maps
+    it directly over a process pool (``pool.map(run_experiment, ...)``).
+    """
+    return _run_experiment(config)
+
+
+def _run_experiment(config: ExperimentConfig, *,
+                    tracer: Optional[Tracer] = None,
+                    attach: Optional[Callable[[Testbed], None]] = None
+                    ) -> ExperimentResult:
+    """:func:`run_experiment` plus observability hooks.
+
+    *tracer* (when given) becomes the server kernel's tracer; *attach*
+    runs after the testbed is built and before the simulation starts —
+    the traced runner uses it to hang a :class:`KernelObserver` on.
+    """
     if config.network not in ("overlay", "host"):
         raise ValueError(f"unknown network type {config.network!r}")
     testbed = build_testbed(seed=config.seed, costs=config.costs,
-                            config=config.kernel_config, mode=config.mode)
+                            config=config.kernel_config, mode=config.mode,
+                            tracer=tracer)
+    if attach is not None:
+        attach(testbed)
     sim = testbed.sim
     recorder = LatencyRecorder("fg", warmup_until_ns=config.warmup_ns)
 
@@ -278,3 +432,68 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         softirq_fraction=sampler.softirq_fraction(),
         drops=dict(testbed.server.kernel.drops),
     )
+
+
+# ----------------------------------------------------------------------
+# Traced runs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceOptions:
+    """Knobs for a traced experiment run."""
+
+    #: Flight-recorder ring capacity (events).
+    capacity: int = 200_000
+    #: Bound on per-packet milestone records kept for the breakdown.
+    max_packets: int = 100_000
+    #: Queue-depth / softirq-residency sampling period (0 disables gauges).
+    gauge_interval_ns: int = DEFAULT_GAUGE_INTERVAL_NS
+
+
+@dataclass
+class TracedExperiment:
+    """A result plus the recording that explains it."""
+
+    result: ExperimentResult
+    recorder: FlightRecorder
+    breakdown: StageBreakdown
+    observer: KernelObserver
+
+    def write_chrome(self, path: Union[str, Path]) -> Path:
+        """Export the recording as Perfetto-loadable Chrome trace JSON."""
+        config = self.result.config
+        return write_chrome_trace(
+            path, self.recorder,
+            meta={"scenario": config.label(), "seed": config.seed,
+                  "duration_ns": config.duration_ns})
+
+
+def run_traced_experiment(config: ExperimentConfig,
+                          options: Optional[TraceOptions] = None
+                          ) -> TracedExperiment:
+    """Run one experiment with the observability layer attached.
+
+    The observer subscribes before the simulation starts, so the kernel's
+    gated emit sites light up; the measurements themselves are unchanged
+    (tracing only reads state — the determinism tests pin that a traced
+    run produces a bit-identical :class:`ExperimentResult`).
+    """
+    options = options or TraceOptions()
+    tracer = Tracer()
+    holder: Dict[str, KernelObserver] = {}
+
+    def attach(testbed: Testbed) -> None:
+        observer = KernelObserver(testbed.server.kernel,
+                                  capacity=options.capacity,
+                                  max_packets=options.max_packets)
+        observer.watch_host(testbed.server)
+        if options.gauge_interval_ns > 0:
+            observer.start_gauges(options.gauge_interval_ns)
+        holder["observer"] = observer
+
+    result = _run_experiment(config, tracer=tracer, attach=attach)
+    observer = holder["observer"]
+    observer.detach()
+    breakdown = StageBreakdown.from_packets(observer.packets.values())
+    result.stage_breakdown = breakdown.to_dict()
+    return TracedExperiment(result=result, recorder=observer.recorder,
+                            breakdown=breakdown, observer=observer)

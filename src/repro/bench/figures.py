@@ -16,10 +16,9 @@ from repro.bench.applications import (
     run_memcached_benchmark,
     run_webserver_benchmark,
 )
-from repro.bench.experiment import ExperimentConfig
 from repro.bench.report import ReproRow
-from repro.bench.runner import run_experiments
 from repro.prism.mode import StackMode
+from repro.scenario import Scenario, run_scenarios
 from repro.sim.units import MS
 
 __all__ = ["FIGURES", "configure", "reproduce"]
@@ -38,8 +37,8 @@ def configure(*, jobs: int = 1, cache: bool = False) -> None:
     _RUN["cache"] = cache
 
 
-def _run_all(configs):
-    return run_experiments(configs, jobs=_RUN["jobs"], cache=_RUN["cache"])
+def _run_all(scenarios):
+    return run_scenarios(scenarios, jobs=_RUN["jobs"], cache=_RUN["cache"])
 
 
 def _pct(new: float, old: float) -> float:
@@ -49,12 +48,10 @@ def _pct(new: float, old: float) -> float:
 def reproduce_fig3(scale: float = 1.0) -> Result:
     """Latency with vs without background traffic (vanilla)."""
     duration = int(250 * MS * scale)
-    idle, busy = _run_all([
-        ExperimentConfig(fg_rate_pps=1_000, duration_ns=duration,
-                         warmup_ns=50 * MS),
-        ExperimentConfig(fg_rate_pps=1_000, bg_rate_pps=300_000,
-                         duration_ns=duration, warmup_ns=50 * MS),
-    ])
+    base = (Scenario(mode=StackMode.VANILLA)
+            .foreground("pingpong", rate_pps=1_000)
+            .timing(duration_ns=duration, warmup_ns=50 * MS))
+    idle, busy = _run_all([base, base.background(rate_pps=300_000)])
     median_up = _pct(busy.fg_latency.p50_ns, idle.fg_latency.p50_ns)
     tail_up = _pct(busy.fg_latency.p99_ns, idle.fg_latency.p99_ns)
     rows = [
@@ -112,12 +109,11 @@ def reproduce_fig8(scale: float = 1.0) -> Result:
     duration = int(150 * MS * scale)
     modes = list(StackMode)
     results = _run_all(
-        [ExperimentConfig(mode=mode, fg_rate_pps=300_000,
-                          duration_ns=duration, warmup_ns=40 * MS)
+        [Scenario(mode=mode).foreground("pingpong", rate_pps=300_000)
+         .timing(duration_ns=duration, warmup_ns=40 * MS)
          for mode in modes]
-        + [ExperimentConfig(mode=mode, fg_kind="flood", fg_rate_pps=500_000,
-                            duration_ns=int(100 * MS * scale),
-                            warmup_ns=20 * MS)
+        + [Scenario(mode=mode).foreground("flood", rate_pps=500_000)
+           .timing(duration_ns=int(100 * MS * scale), warmup_ns=20 * MS)
            for mode in modes])
     lines = []
     latencies = {}
@@ -150,8 +146,9 @@ def reproduce_fig9(scale: float = 1.0) -> Result:
     duration = int(300 * MS * scale)
     modes = list(StackMode)
     batch = _run_all([
-        ExperimentConfig(mode=mode, fg_rate_pps=1_000, bg_rate_pps=300_000,
-                         duration_ns=duration, warmup_ns=50 * MS)
+        Scenario(mode=mode).foreground("pingpong", rate_pps=1_000)
+        .background(rate_pps=300_000)
+        .timing(duration_ns=duration, warmup_ns=50 * MS)
         for mode in modes])
     lines = []
     results = {}
@@ -176,9 +173,10 @@ def reproduce_fig10(scale: float = 1.0) -> Result:
     duration = int(300 * MS * scale)
     modes = (StackMode.VANILLA, StackMode.PRISM_SYNC)
     batch = _run_all([
-        ExperimentConfig(mode=mode, network="host", fg_rate_pps=1_000,
-                         bg_rate_pps=300_000, duration_ns=duration,
-                         warmup_ns=50 * MS)
+        Scenario(mode=mode, network="host")
+        .foreground("pingpong", rate_pps=1_000)
+        .background(rate_pps=300_000)
+        .timing(duration_ns=duration, warmup_ns=50 * MS)
         for mode in modes])
     results = {}
     lines = []
@@ -198,8 +196,9 @@ def reproduce_fig11(scale: float = 1.0) -> Result:
     loads = (0, 25_000, 150_000, 300_000, 430_000)
     modes = (StackMode.VANILLA, StackMode.PRISM_SYNC)
     batch = _run_all([
-        ExperimentConfig(mode=mode, fg_rate_pps=1_000, bg_rate_pps=bg,
-                         duration_ns=duration, warmup_ns=40 * MS)
+        Scenario(mode=mode).foreground("pingpong", rate_pps=1_000)
+        .background(rate_pps=bg)
+        .timing(duration_ns=duration, warmup_ns=40 * MS)
         for mode in modes for bg in loads])
     sweep = {}
     for i, mode in enumerate(modes):

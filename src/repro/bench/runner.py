@@ -26,7 +26,6 @@ import enum
 import hashlib
 import json
 import os
-import pickle
 import statistics
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -57,7 +56,8 @@ __all__ = [
 #: Environment override for the on-disk cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Bump to invalidate every cached result regardless of code digest.
-CACHE_SCHEMA = 1
+#: v2: entries are versioned JSON (ExperimentResult.to_dict), not pickle.
+CACHE_SCHEMA = 2
 
 _code_digest: Optional[str] = None
 
@@ -131,7 +131,12 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """On-disk pickle cache of :class:`ExperimentResult`, one file per key."""
+    """On-disk JSON cache of :class:`ExperimentResult`, one file per key.
+
+    Entries are the versioned ``ExperimentResult.to_dict()`` wire format,
+    so they are inspectable with any JSON tool and survive Python/pickle
+    protocol changes.  Any unreadable or wrong-shape entry is a miss.
+    """
 
     def __init__(self, directory: Optional[Path] = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
@@ -139,15 +144,16 @@ class ResultCache:
         self.misses = 0
 
     def _path(self, key: str) -> Path:
-        return self.directory / f"{key}.pkl"
+        return self.directory / f"{key}.json"
 
     def get(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
         path = self._path(config_key(config))
         try:
-            with path.open("rb") as fh:
-                result = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
+            with path.open("r", encoding="utf-8") as fh:
+                result = ExperimentResult.from_dict(json.load(fh))
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # Missing file, truncated/corrupt JSON, or a schema this code
+            # cannot read — all of these are simply cache misses.
             self.misses += 1
             return None
         self.hits += 1
@@ -157,8 +163,8 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(config_key(config))
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("wb") as fh:
-            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, separators=(",", ":"))
         tmp.replace(path)  # atomic: concurrent writers race harmlessly
 
 

@@ -95,6 +95,11 @@ class CpuStats:
         """Total non-idle time."""
         return sum(v for ctx, v in self.ns.items() if ctx is not CpuContext.IDLE)
 
+    @property
+    def softirq_ns(self) -> int:
+        """Cumulative softirq time (the observability layer samples this)."""
+        return self.ns[CpuContext.SOFTIRQ]
+
     def snapshot(self) -> Dict[CpuContext, int]:
         """A copy of the per-context counters (for windowed utilization)."""
         return dict(self.ns)
@@ -108,6 +113,19 @@ class CpuStats:
         busy = sum(after[ctx] - before[ctx] for ctx in after
                    if ctx is not CpuContext.IDLE)
         return min(1.0, busy / elapsed_ns)
+
+    @staticmethod
+    def residency(before: Dict[CpuContext, int], after: Dict[CpuContext, int],
+                  elapsed_ns: int, context: CpuContext) -> float:
+        """Fraction of *elapsed_ns* spent in one context between snapshots.
+
+        The per-CPU softirq-residency gauge of the observability layer:
+        sampled periodically, it shows where packet processing crowds out
+        application time on the packet core.
+        """
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, max(0, after[context] - before[context]) / elapsed_ns)
 
 
 class ThreadState(enum.Enum):

@@ -35,8 +35,17 @@ def net_rx_action_prism(kernel: "Kernel", softnet: SoftnetData
     costs = kernel.costs
     config = kernel.config
     cpu = softnet.cpu
-    kernel.tracer.emit(TracePoint.NET_RX_ACTION, cpu=cpu.core_id,
-                       mode=str(kernel.mode))
+    tracer = kernel.tracer
+    # Hoist the subscriber checks: with nothing attached this function
+    # must not build tracepoint field dicts or poll-list snapshots.
+    trace_polls = tracer.has_subscribers(TracePoint.NAPI_POLL)
+    spans = tracer.has_subscribers(TracePoint.SPAN_BEGIN)
+    if tracer.has_subscribers(TracePoint.NET_RX_ACTION):
+        tracer.emit(TracePoint.NET_RX_ACTION, cpu=cpu.core_id,
+                    mode=str(kernel.mode))
+    if spans:
+        track = f"cpu{cpu.core_id}"
+        tracer.emit(TracePoint.SPAN_BEGIN, track=track, name="net_rx_action")
     yield costs.softirq_dispatch_ns
 
     processed = 0
@@ -45,7 +54,13 @@ def net_rx_action_prism(kernel: "Kernel", softnet: SoftnetData
         if not softnet.poll_list:
             break
         napi = softnet.poll_list.popleft()
+        if spans:
+            tracer.emit(TracePoint.SPAN_BEGIN, track=track,
+                        name=f"poll:{napi.name}")
         processed += yield from napi.poll(config.napi_weight)
+        if spans:
+            tracer.emit(TracePoint.SPAN_END, track=track,
+                        name=f"poll:{napi.name}")
         # Fig. 7 lines 13-16: head if high-priority work remains, tail if
         # only low-priority work remains, complete otherwise.
         if napi.has_high():
@@ -54,10 +69,11 @@ def net_rx_action_prism(kernel: "Kernel", softnet: SoftnetData
             softnet.poll_list.append(napi)
         else:
             softnet.napi_complete(napi)
-        kernel.tracer.emit(
-            TracePoint.NAPI_POLL, cpu=cpu.core_id, device=napi.name,
-            local_list=[],
-            global_list=softnet.poll_list_names())
+        if trace_polls:
+            tracer.emit(
+                TracePoint.NAPI_POLL, cpu=cpu.core_id, device=napi.name,
+                local_list=[],
+                global_list=softnet.poll_list_names())
         if processed >= config.napi_budget:
             break
 
@@ -67,3 +83,5 @@ def net_rx_action_prism(kernel: "Kernel", softnet: SoftnetData
         cpu.raise_softirq(NET_RX_SOFTIRQ)
         if processed >= config.napi_budget:
             cpu.request_softirq_yield()
+    if spans:
+        tracer.emit(TracePoint.SPAN_END, track=track, name="net_rx_action")

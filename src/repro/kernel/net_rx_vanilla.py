@@ -33,8 +33,17 @@ def net_rx_action_vanilla(kernel: "Kernel", softnet: SoftnetData
     costs = kernel.costs
     config = kernel.config
     cpu = softnet.cpu
-    kernel.tracer.emit(TracePoint.NET_RX_ACTION, cpu=cpu.core_id,
-                       mode="vanilla")
+    tracer = kernel.tracer
+    # Hoist the subscriber checks: with nothing attached this function
+    # must not build tracepoint field dicts or poll-list snapshots.
+    trace_polls = tracer.has_subscribers(TracePoint.NAPI_POLL)
+    spans = tracer.has_subscribers(TracePoint.SPAN_BEGIN)
+    if tracer.has_subscribers(TracePoint.NET_RX_ACTION):
+        tracer.emit(TracePoint.NET_RX_ACTION, cpu=cpu.core_id,
+                    mode="vanilla")
+    if spans:
+        track = f"cpu{cpu.core_id}"
+        tracer.emit(TracePoint.SPAN_BEGIN, track=track, name="net_rx_action")
     yield costs.softirq_dispatch_ns
 
     # Fig. 2 line 8: move POLL_LIST to the (empty) local poll list.
@@ -44,16 +53,23 @@ def net_rx_action_vanilla(kernel: "Kernel", softnet: SoftnetData
     processed = 0
     while local:
         napi = local.popleft()
+        if spans:
+            tracer.emit(TracePoint.SPAN_BEGIN, track=track,
+                        name=f"poll:{napi.name}")
         processed += yield from napi.poll(config.napi_weight)
+        if spans:
+            tracer.emit(TracePoint.SPAN_END, track=track,
+                        name=f"poll:{napi.name}")
         if napi.has_packets():
             # Fig. 2 line 16: back to the tail of the *global* list.
             softnet.poll_list.append(napi)
         else:
             softnet.napi_complete(napi)
-        kernel.tracer.emit(
-            TracePoint.NAPI_POLL, cpu=cpu.core_id, device=napi.name,
-            local_list=[n.name for n in local],
-            global_list=softnet.poll_list_names())
+        if trace_polls:
+            tracer.emit(
+                TracePoint.NAPI_POLL, cpu=cpu.core_id, device=napi.name,
+                local_list=[n.name for n in local],
+                global_list=softnet.poll_list_names())
         if processed >= config.napi_budget:
             break
 
@@ -72,3 +88,5 @@ def net_rx_action_vanilla(kernel: "Kernel", softnet: SoftnetData
             # Budget exhausted: hand off to ksoftirqd, which competes
             # fairly with user threads.
             cpu.request_softirq_yield()
+    if spans:
+        tracer.emit(TracePoint.SPAN_END, track=track, name="net_rx_action")

@@ -81,6 +81,11 @@ class NapiStruct:
         if not ok:
             self.kernel.tracer.emit(TracePoint.DROP, queue=queue.name, skb=skb)
             self.kernel.drops[queue.name] = self.kernel.drops.get(queue.name, 0) + 1
+        elif self.kernel.tracer.has_subscribers(TracePoint.QUEUE_WAIT):
+            # Stamp the enqueue time so the dequeue side can emit the
+            # complete residency interval.  Only when an observer is
+            # attached: the mark is a dict insert per packet otherwise.
+            skb.mark(f"q:{queue.name}", self.kernel.sim.now)
         return ok
 
     # ------------------------------------------------------------------
@@ -93,11 +98,18 @@ class NapiStruct:
         and processes up to *batch_size* skbs exclusively from it.
         """
         self.polls += 1
+        tracer = self.kernel.tracer
+        trace_waits = tracer.has_subscribers(TracePoint.QUEUE_WAIT)
         yield self.kernel.costs.device_poll_overhead_ns
         queue = self.queue_high if self.queue_high else self.queue_low
         processed = 0
         while processed < batch_size and queue:
             skb = queue.dequeue()
+            if trace_waits:
+                since = skb.marks.get(f"q:{queue.name}")
+                if since is not None:
+                    tracer.emit(TracePoint.QUEUE_WAIT, queue=queue.name,
+                                skb=skb, since=since)
             yield from self._process_skb(skb)
             processed += 1
         self.packets_processed += processed
@@ -109,14 +121,32 @@ class NapiStruct:
         The skb never touches the input queues; per the paper's footnote,
         the stage still executes in this device's context (same cost).
         """
-        self.kernel.tracer.emit(TracePoint.SYNC_INLINE, device=self.name, skb=skb)
+        if self.kernel.tracer.has_subscribers(TracePoint.SYNC_INLINE):
+            self.kernel.tracer.emit(TracePoint.SYNC_INLINE, device=self.name,
+                                    skb=skb)
         yield from self._process_skb(skb)
         self.packets_processed += 1
 
     def _process_skb(self, skb: SKBuff) -> Generator[int, None, None]:
         stage = self._stage_for(skb)
-        yield from stage.process(skb, self.softnet)
-        self.kernel.tracer.emit(TracePoint.STAGE_DONE, device=self.name, skb=skb)
+        tracer = self.kernel.tracer
+        if tracer.has_subscribers(TracePoint.SPAN_BEGIN):
+            # Per-skb stage span on the servicing CPU's track.  Inline
+            # (PRISM-sync) stage chains nest naturally: the inner stage's
+            # span opens and closes inside the outer one.
+            softnet = self.softnet
+            track = (f"cpu{softnet.cpu.core_id}" if softnet is not None
+                     else self.name)
+            tracer.emit(TracePoint.SPAN_BEGIN, track=track,
+                        name=f"skb:{stage.name}")
+            yield from stage.process(skb, self.softnet)
+            tracer.emit(TracePoint.SPAN_END, track=track,
+                        name=f"skb:{stage.name}")
+        else:
+            yield from stage.process(skb, self.softnet)
+        if tracer.has_subscribers(TracePoint.STAGE_DONE):
+            tracer.emit(TracePoint.STAGE_DONE, device=self.name, skb=skb,
+                        stage=stage.name)
 
     def _stage_for(self, skb: SKBuff) -> "PacketStage":
         """The stage to run: fixed, or per-skb for the shared backlog."""

@@ -110,6 +110,9 @@ class NicNapi(NapiStruct):
         """Driver poll: dequeue descriptors, allocate + classify skbs."""
         self.polls += 1
         kernel = self.kernel
+        tracer = kernel.tracer
+        trace_allocs = tracer.has_subscribers(TracePoint.SKB_ALLOC)
+        trace_waits = tracer.has_subscribers(TracePoint.QUEUE_WAIT)
         yield kernel.costs.device_poll_overhead_ns
         ring = (self.nic.ring_high
                 if self.nic.ring_high is not None and self.nic.ring_high
@@ -120,10 +123,15 @@ class NicNapi(NapiStruct):
             skb = SKBuff(packet, dev=self.nic, alloc_time=kernel.sim.now)
             skb.mark("rx_ring", arrival)
             skb.mark("skb_alloc", kernel.sim.now)
+            if trace_waits:
+                # Ring residency: DMA arrival to driver-poll dequeue.
+                tracer.emit(TracePoint.QUEUE_WAIT, queue=ring.name,
+                            skb=skb, since=arrival)
             lookup_cost = kernel.classifier.classify(skb, kernel.mode)
             if lookup_cost:
                 yield lookup_cost
-            kernel.tracer.emit(TracePoint.SKB_ALLOC, device=self.name, skb=skb)
+            if trace_allocs:
+                tracer.emit(TracePoint.SKB_ALLOC, device=self.name, skb=skb)
             yield from self._process_skb(skb)
             processed += 1
         self.packets_processed += processed

@@ -26,14 +26,20 @@ class PacketQueue(Generic[T]):
         self._items: Deque[T] = deque()
         self.enqueued = 0
         self.dropped = 0
+        #: Deepest the queue has ever been (occupancy high-watermark,
+        #: reported by the observability gauges).
+        self.max_depth = 0
 
     def enqueue(self, item: T) -> bool:
         """Append *item*; returns False (and counts a drop) when full."""
-        if len(self._items) >= self.capacity:
+        items = self._items
+        if len(items) >= self.capacity:
             self.dropped += 1
             return False
-        self._items.append(item)
+        items.append(item)
         self.enqueued += 1
+        if len(items) > self.max_depth:
+            self.max_depth = len(items)
         return True
 
     def dequeue(self) -> T:

@@ -22,6 +22,7 @@ from repro.netdev.device import NetDevice, PacketStage
 from repro.packet.skb import SKBuff
 from repro.prism.mode import StackMode
 from repro.prism.stage_transition import transition_to_napi
+from repro.trace.tracer import TracePoint
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.core import Kernel
@@ -97,6 +98,9 @@ class VxlanDevice(NetDevice):
             high = kernel.mode.is_prism and kernel.is_high_class(skb)
             queue = cell.queue_high if high else cell.queue_low
             if self.gro.try_merge_into_queue(queue, skb):
+                if kernel.tracer.has_subscribers(TracePoint.GRO_MERGE):
+                    kernel.tracer.emit(TracePoint.GRO_MERGE,
+                                       device=self.name, skb=skb)
                 yield kernel.costs.gro_merge_ns
                 return
         yield from transition_to_napi(kernel, skb, cell)

@@ -1,0 +1,45 @@
+"""Kernel-path observability: spans, counters, and chrome-trace export.
+
+The layer has three pieces:
+
+- :class:`~repro.obs.recorder.FlightRecorder` — a bounded ring buffer of
+  trace events (the storage);
+- :class:`~repro.obs.observer.KernelObserver` — the tracer subscriber
+  that turns kernel tracepoints into recorded spans/intervals/instants
+  and samples periodic gauges (the collection);
+- :mod:`~repro.obs.chrome` and
+  :class:`~repro.obs.breakdown.StageBreakdown` — Perfetto-loadable
+  Chrome ``trace_event`` JSON and the paper's Fig. 4 per-stage latency
+  decomposition (the exporters).
+
+Everything is opt-in: kernel emit sites are gated on
+``tracer.has_subscribers``, so with no observer attached the receive
+path pays ~nothing.  The high-level entry points are
+:meth:`repro.scenario.Scenario.run_traced` and the ``--trace`` CLI flag.
+"""
+
+from repro.obs.breakdown import StageBreakdown, StageSegment
+from repro.obs.chrome import (
+    chrome_trace_doc,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.observer import (
+    DEFAULT_GAUGE_INTERVAL_NS,
+    KernelObserver,
+    PacketMilestones,
+)
+from repro.obs.recorder import FlightRecorder, TraceEvent
+
+__all__ = [
+    "DEFAULT_GAUGE_INTERVAL_NS",
+    "FlightRecorder",
+    "KernelObserver",
+    "PacketMilestones",
+    "StageBreakdown",
+    "StageSegment",
+    "TraceEvent",
+    "chrome_trace_doc",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,279 @@
+"""The kernel observer: tracepoints in, flight-recorder events out.
+
+:class:`KernelObserver` is the one subscriber the observability layer
+attaches to a kernel's :class:`~repro.trace.tracer.Tracer`.  It converts
+the fine-grained tracepoints the kernel emits into
+:class:`~repro.obs.recorder.FlightRecorder` events:
+
+- ``SPAN_BEGIN``/``SPAN_END`` → ``B``/``E`` spans on per-CPU tracks
+  (softirq invocations, per-device polls, per-skb stage execution);
+- ``QUEUE_WAIT`` → retroactive ``X`` complete events on per-queue tracks
+  (ring/NAPI-queue/backlog residency, recorded at dequeue);
+- ``DROP`` / ``SYNC_INLINE`` / ``GRO_MERGE`` → instants;
+- ``SKB_ALLOC`` / ``STAGE_DONE`` / ``SOCKET_ENQUEUE`` → per-packet
+  milestone records that feed :mod:`repro.obs.breakdown`.
+
+It also samples periodic **gauges** (queue depths, per-CPU softirq
+residency) through :meth:`~repro.sim.engine.Simulator.every`, recorded as
+``C`` counter events.
+
+The contract with the hot path: *all* kernel-side emit sites are gated on
+``tracer.has_subscribers``, so the entire layer costs ~zero when no
+observer is attached.  Attaching is what turns the instrumentation on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.kernel.cpu import CpuContext, CpuCore
+from repro.netdev.queues import PacketQueue
+from repro.obs.recorder import FlightRecorder
+from repro.packet.skb import SKBuff
+from repro.trace.tracer import TracePoint, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+    from repro.sim.engine import PeriodicCall
+
+__all__ = ["KernelObserver", "PacketMilestones", "DEFAULT_GAUGE_INTERVAL_NS"]
+
+#: Default gauge sampling period (1 ms of simulated time).
+DEFAULT_GAUGE_INTERVAL_NS = 1_000_000
+
+
+class PacketMilestones:
+    """Receive-path milestone timestamps for one packet (sim-ns).
+
+    ``stages`` holds ``(stage_name, done_at)`` pairs in completion order —
+    e.g. ``[("eth", t1), ("br", t2), ("veth", t3)]`` for the overlay
+    pipeline.  Together with ``ring_at`` (DMA arrival) and ``socket_at``
+    (delivery) they decompose the in-kernel time exactly, which is what
+    the Fig. 4 breakdown consumes.
+    """
+
+    __slots__ = ("skb_id", "high_priority", "ring_at", "alloc_at",
+                 "stages", "socket_at")
+
+    def __init__(self, skb_id: int, high_priority: bool) -> None:
+        self.skb_id = skb_id
+        self.high_priority = high_priority
+        self.ring_at: Optional[int] = None
+        self.alloc_at: Optional[int] = None
+        self.stages: List[Tuple[str, int]] = []
+        self.socket_at: Optional[int] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.ring_at is not None and self.socket_at is not None
+
+    @property
+    def kernel_time_ns(self) -> Optional[int]:
+        if not self.complete:
+            return None
+        return self.socket_at - self.ring_at
+
+    def path_signature(self) -> Tuple[str, ...]:
+        """The ordered stage names this packet traversed."""
+        return tuple(name for name, _ in self.stages)
+
+    def __repr__(self) -> str:
+        return (f"<PacketMilestones #{self.skb_id} "
+                f"stages={self.path_signature()}>")
+
+
+class KernelObserver:
+    """Attaches to one kernel's tracer and records everything.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel to observe (its ``tracer`` is subscribed to).
+    recorder:
+        An existing :class:`FlightRecorder` to record into, or None to
+        create one with *capacity*.
+    capacity:
+        Ring-buffer capacity when creating a recorder.
+    max_packets:
+        Bound on per-packet milestone records kept for the breakdown
+        (oldest-first admission; later packets are counted but not kept).
+    """
+
+    def __init__(self, kernel: "Kernel", *,
+                 recorder: Optional[FlightRecorder] = None,
+                 capacity: int = 200_000,
+                 max_packets: int = 100_000) -> None:
+        self.kernel = kernel
+        self.tracer: Tracer = kernel.tracer
+        self.recorder = recorder if recorder is not None else FlightRecorder(capacity)
+        self.max_packets = max_packets
+        self.packets: Dict[int, PacketMilestones] = {}
+        #: Packets seen but not kept because max_packets was reached.
+        self.packets_overflowed = 0
+        self._gauge_queues: List[Tuple[str, PacketQueue]] = []
+        self._gauge_cpus: List[Tuple[str, CpuCore, Dict[CpuContext, int], int]] = []
+        self._sampler: Optional["PeriodicCall"] = None
+        self._callbacks = [
+            (TracePoint.SPAN_BEGIN,
+             self.tracer.attach(TracePoint.SPAN_BEGIN, self._on_span_begin)),
+            (TracePoint.SPAN_END,
+             self.tracer.attach(TracePoint.SPAN_END, self._on_span_end)),
+            (TracePoint.QUEUE_WAIT,
+             self.tracer.attach(TracePoint.QUEUE_WAIT, self._on_queue_wait)),
+            (TracePoint.DROP,
+             self.tracer.attach(TracePoint.DROP, self._on_drop)),
+            (TracePoint.SYNC_INLINE,
+             self.tracer.attach(TracePoint.SYNC_INLINE, self._on_sync_inline)),
+            (TracePoint.GRO_MERGE,
+             self.tracer.attach(TracePoint.GRO_MERGE, self._on_gro_merge)),
+            (TracePoint.SKB_ALLOC,
+             self.tracer.attach(TracePoint.SKB_ALLOC, self._on_alloc)),
+            (TracePoint.STAGE_DONE,
+             self.tracer.attach(TracePoint.STAGE_DONE, self._on_stage_done)),
+            (TracePoint.SOCKET_ENQUEUE,
+             self.tracer.attach(TracePoint.SOCKET_ENQUEUE, self._on_socket)),
+        ]
+
+    # ------------------------------------------------------------------
+    # Span / interval / instant callbacks
+    # ------------------------------------------------------------------
+    def _now(self) -> int:
+        return self.kernel.sim.now
+
+    def _on_span_begin(self, track: str, name: str, **fields: Any) -> None:
+        args = {k: _arg(v) for k, v in fields.items()} or None
+        self.recorder.begin(self._now(), track, name, args)
+
+    def _on_span_end(self, track: str, name: str, **_f: Any) -> None:
+        self.recorder.end(self._now(), track, name)
+
+    def _on_queue_wait(self, queue: str, skb: Optional[SKBuff],
+                       since: int, **_f: Any) -> None:
+        now = self._now()
+        args = {"skb": skb.skb_id} if skb is not None else None
+        self.recorder.complete(since, now - since, f"queue:{queue}",
+                               "wait", args)
+
+    def _on_drop(self, queue: str, skb: Optional[SKBuff], **_f: Any) -> None:
+        args = {"skb": skb.skb_id} if skb is not None else None
+        self.recorder.instant(self._now(), "drops", queue, args)
+
+    def _on_sync_inline(self, device: str, skb: SKBuff, **_f: Any) -> None:
+        self.recorder.instant(self._now(), "prism", f"sync_inline:{device}",
+                              {"skb": skb.skb_id})
+
+    def _on_gro_merge(self, device: str, skb: SKBuff, **_f: Any) -> None:
+        self.recorder.instant(self._now(), "gro", f"merge:{device}",
+                              {"skb": skb.skb_id})
+
+    # ------------------------------------------------------------------
+    # Per-packet milestones (feeds the Fig. 4 breakdown)
+    # ------------------------------------------------------------------
+    def _on_alloc(self, device: str, skb: SKBuff, **_f: Any) -> None:
+        entry = self.packets.get(skb.skb_id)
+        if entry is None:
+            if len(self.packets) >= self.max_packets:
+                self.packets_overflowed += 1
+                return
+            entry = PacketMilestones(skb.skb_id, skb.is_high_priority)
+            self.packets[skb.skb_id] = entry
+        entry.ring_at = skb.marks.get("rx_ring", self._now())
+        entry.alloc_at = skb.marks.get("skb_alloc", self._now())
+        entry.high_priority = skb.is_high_priority
+
+    def _on_stage_done(self, device: str, skb: SKBuff,
+                       stage: str = "", **_f: Any) -> None:
+        entry = self.packets.get(skb.skb_id)
+        if entry is not None:
+            entry.stages.append((stage or device, self._now()))
+            entry.high_priority = skb.is_high_priority
+
+    def _on_socket(self, socket: str, skb: SKBuff, **_f: Any) -> None:
+        entry = self.packets.get(skb.skb_id)
+        if entry is not None:
+            entry.socket_at = self._now()
+
+    def completed_packets(self) -> List[PacketMilestones]:
+        """Packets that reached a socket, in ring-arrival order."""
+        done = [p for p in self.packets.values() if p.complete]
+        done.sort(key=lambda p: p.ring_at)
+        return done
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+    def watch_queue(self, queue: PacketQueue, track: str = "") -> None:
+        """Sample *queue*'s depth as a counter track each gauge period."""
+        self._gauge_queues.append((track or f"depth:{queue.name}", queue))
+
+    def watch_cpu(self, core: CpuCore) -> None:
+        """Sample *core*'s softirq residency each gauge period."""
+        self._gauge_cpus.append(
+            (f"softirq:cpu{core.core_id}", core, core.stats.snapshot(),
+             self._now()))
+
+    def watch_host(self, host: Any) -> None:
+        """Convenience: watch a :class:`~repro.overlay.host.Host`'s
+        standard receive-path queues and CPUs (NIC ring(s), per-CPU
+        backlogs, every core)."""
+        nic = getattr(host, "nic", None)
+        if nic is not None:
+            self.watch_queue(nic.ring)
+            if nic.ring_high is not None:
+                self.watch_queue(nic.ring_high)
+        kernel = host.kernel
+        for softnet in kernel.softnets:
+            self.watch_queue(softnet.backlog.queue_low)
+            self.watch_queue(softnet.backlog.queue_high)
+        for core in kernel.cpus:
+            self.watch_cpu(core)
+
+    def start_gauges(self, interval_ns: int = DEFAULT_GAUGE_INTERVAL_NS) -> None:
+        """Begin periodic gauge sampling (idempotent)."""
+        if self._sampler is None:
+            self._sampler = self.kernel.sim.every(interval_ns, self._sample)
+
+    def _sample(self) -> None:
+        now = self._now()
+        recorder = self.recorder
+        for track, queue in self._gauge_queues:
+            recorder.counter(now, track, "depth", len(queue))
+        refreshed = []
+        for track, core, before, since in self._gauge_cpus:
+            after = core.stats.snapshot()
+            value = core.stats.residency(before, after, now - since,
+                                         CpuContext.SOFTIRQ)
+            recorder.counter(now, track, "residency", value)
+            refreshed.append((track, core, after, now))
+        self._gauge_cpus = refreshed
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def detach(self) -> None:
+        """Unsubscribe from every tracepoint and stop the gauge sampler."""
+        for point, callback in self._callbacks:
+            self.tracer.detach(point, callback)
+        self._callbacks = []
+        if self._sampler is not None:
+            self._sampler.cancel()
+            self._sampler = None
+
+    def __enter__(self) -> "KernelObserver":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.detach()
+
+    def __repr__(self) -> str:
+        return (f"<KernelObserver recorder={self.recorder!r} "
+                f"packets={len(self.packets)}>")
+
+
+def _arg(value: Any) -> Any:
+    """Flatten a tracepoint field into a JSON-safe trace-event arg."""
+    if isinstance(value, SKBuff):
+        return value.skb_id
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

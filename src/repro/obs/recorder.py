@@ -1,0 +1,160 @@
+"""The flight recorder: a bounded ring buffer of trace events.
+
+The observability layer records everything — span begin/end pairs,
+retroactive complete events (queue residency), instants, and counter
+samples — into one :class:`FlightRecorder`.  The buffer is bounded
+(``capacity`` events, oldest evicted first) so an observer can stay
+attached to an arbitrarily long simulation at a fixed memory cost, like
+a kernel flight recorder / ftrace ring buffer.
+
+Events use the Chrome ``trace_event`` phase vocabulary so the exporter
+(:mod:`repro.obs.chrome`) is a direct mapping:
+
+- ``B``/``E`` — span begin/end on a track;
+- ``X`` — complete event with an explicit duration (recorded at the
+  *end* of the interval, e.g. queue residency measured at dequeue);
+- ``i`` — instant event;
+- ``C`` — counter sample.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["FlightRecorder", "TraceEvent", "PH_BEGIN", "PH_END",
+           "PH_COMPLETE", "PH_INSTANT", "PH_COUNTER"]
+
+PH_BEGIN = "B"
+PH_END = "E"
+PH_COMPLETE = "X"
+PH_INSTANT = "i"
+PH_COUNTER = "C"
+
+
+class TraceEvent:
+    """One recorded event.  Timestamps/durations are integer sim-ns."""
+
+    __slots__ = ("ph", "ts", "dur", "track", "name", "args")
+
+    def __init__(self, ph: str, ts: int, dur: Optional[int],
+                 track: str, name: str,
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.track = track
+        self.name = name
+        self.args = args
+
+    def __repr__(self) -> str:
+        dur = f" dur={self.dur}" if self.dur is not None else ""
+        return f"<TraceEvent {self.ph} t={self.ts}{dur} {self.track}:{self.name}>"
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`TraceEvent`.
+
+    ``capacity`` bounds memory; when full, the oldest event is evicted
+    (``evicted`` counts how many were lost to wraparound).  Recording is
+    append-only and O(1); nothing is indexed until an exporter or query
+    walks :meth:`events`.
+    """
+
+    def __init__(self, capacity: int = 200_000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def begin(self, ts: int, track: str, name: str,
+              args: Optional[Dict[str, Any]] = None) -> None:
+        self.recorded += 1
+        self._events.append(TraceEvent(PH_BEGIN, ts, None, track, name, args))
+
+    def end(self, ts: int, track: str, name: str) -> None:
+        self.recorded += 1
+        self._events.append(TraceEvent(PH_END, ts, None, track, name))
+
+    def complete(self, ts: int, dur: int, track: str, name: str,
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a finished interval ``[ts, ts + dur]`` retroactively."""
+        self.recorded += 1
+        self._events.append(TraceEvent(PH_COMPLETE, ts, dur, track, name, args))
+
+    def instant(self, ts: int, track: str, name: str,
+                args: Optional[Dict[str, Any]] = None) -> None:
+        self.recorded += 1
+        self._events.append(TraceEvent(PH_INSTANT, ts, None, track, name, args))
+
+    def counter(self, ts: int, track: str, name: str, value: float) -> None:
+        self.recorded += 1
+        self._events.append(TraceEvent(PH_COUNTER, ts, None, track, name,
+                                       {"value": value}))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def evicted(self) -> int:
+        """Events lost to ring wraparound."""
+        return self.recorded - len(self._events)
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def tracks(self) -> List[str]:
+        """Distinct track names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for event in self._events:
+            if event.track not in seen:
+                seen[event.track] = None
+        return list(seen)
+
+    def spans(self, track: Optional[str] = None
+              ) -> List[Tuple[str, str, int, int]]:
+        """Matched ``(track, name, begin_ts, end_ts)`` span tuples.
+
+        Pairs B/E events per track with stack discipline (spans nest).
+        Unmatched begins (still open at the end of the recording) are
+        omitted.  Raises ValueError on an E whose name does not match
+        the innermost open B — that indicates broken instrumentation.
+        """
+        stacks: Dict[str, List[Tuple[str, int]]] = {}
+        out: List[Tuple[str, str, int, int]] = []
+        for event in self._events:
+            if track is not None and event.track != track:
+                continue
+            if event.ph == PH_BEGIN:
+                stacks.setdefault(event.track, []).append(
+                    (event.name, event.ts))
+            elif event.ph == PH_END:
+                stack = stacks.get(event.track)
+                if not stack:
+                    continue  # begin was evicted by wraparound
+                name, begin_ts = stack.pop()
+                if name != event.name:
+                    raise ValueError(
+                        f"span mismatch on {event.track!r}: "
+                        f"exit {event.name!r} while {name!r} is open")
+                out.append((event.track, name, begin_ts, event.ts))
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return (f"<FlightRecorder {len(self._events)}/{self.capacity} "
+                f"evicted={self.evicted}>")

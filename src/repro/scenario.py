@@ -1,0 +1,189 @@
+"""The Scenario API — one fluent entry point for every experiment.
+
+Benches, examples, and the CLI all build their workloads through
+:class:`Scenario` instead of spelling out raw
+:class:`~repro.bench.experiment.ExperimentConfig` fields::
+
+    from repro.scenario import Scenario
+
+    result = (Scenario(mode="prism-sync", network="overlay")
+              .foreground("pingpong", rate_pps=1_000)
+              .background(rate_pps=300_000)
+              .timing(duration_ns=300 * MS, warmup_ns=60 * MS)
+              .run())
+
+    traced = Scenario(mode="vanilla").background(rate_pps=300_000).run_traced()
+    traced.write_chrome("out.json")          # load in Perfetto
+    print(traced.breakdown.render())         # Fig. 4 table
+
+A Scenario is **immutable**: every fluent call returns a new one, so
+partial scenarios can be shared and forked freely (sweeps, mode
+comparisons).  :meth:`build` produces the underlying frozen
+``ExperimentConfig`` — byte-identical to one constructed directly, so
+the disk cache keys (which hash the config) are unaffected by which API
+built it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Iterable, List, Optional, Union
+
+from repro.bench.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    TraceOptions,
+    TracedExperiment,
+    run_experiment,
+    run_traced_experiment,
+)
+from repro.kernel.config import KernelConfig
+from repro.kernel.costs import CostModel
+from repro.prism.mode import StackMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from pathlib import Path
+
+__all__ = ["Scenario", "run_scenarios"]
+
+_FG_KINDS = ("pingpong", "flood")
+
+
+class Scenario:
+    """A fluent, immutable builder for one experiment scenario."""
+
+    __slots__ = ("_config",)
+
+    def __init__(self, mode: Union[StackMode, str] = StackMode.VANILLA,
+                 network: str = "overlay", *, seed: int = 1,
+                 config: Optional[ExperimentConfig] = None) -> None:
+        if config is not None:
+            self._config = config
+            return
+        if isinstance(mode, str):
+            mode = StackMode.parse(mode)
+        if network not in ("overlay", "host"):
+            raise ValueError(f"unknown network type {network!r}; "
+                             "expected 'overlay' or 'host'")
+        self._config = ExperimentConfig(mode=mode, network=network, seed=seed)
+
+    def _replace(self, **changes: object) -> "Scenario":
+        return Scenario(config=dataclasses.replace(self._config, **changes))
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+    def foreground(self, kind: str = "pingpong", *,
+                   rate_pps: Optional[float] = None,
+                   payload_len: Optional[int] = None,
+                   high_priority: Optional[bool] = None) -> "Scenario":
+        """Configure the measured flow: 'pingpong' (latency) or 'flood'
+        (throughput)."""
+        if kind not in _FG_KINDS:
+            raise ValueError(f"unknown foreground kind {kind!r}; "
+                             f"expected one of {_FG_KINDS}")
+        changes: dict = {"fg_kind": kind}
+        if rate_pps is not None:
+            changes["fg_rate_pps"] = float(rate_pps)
+        if payload_len is not None:
+            changes["fg_payload_len"] = int(payload_len)
+        if high_priority is not None:
+            changes["fg_high_priority"] = bool(high_priority)
+        return self._replace(**changes)
+
+    def background(self, rate_pps: float, *,
+                   payload_len: Optional[int] = None,
+                   burst: Optional[int] = None) -> "Scenario":
+        """Add the low-priority UDP flood competing for the packet core."""
+        changes: dict = {"bg_rate_pps": float(rate_pps)}
+        if payload_len is not None:
+            changes["bg_payload_len"] = int(payload_len)
+        if burst is not None:
+            changes["bg_burst"] = int(burst)
+        return self._replace(**changes)
+
+    # ------------------------------------------------------------------
+    # Simulation shape
+    # ------------------------------------------------------------------
+    def timing(self, *, duration_ns: Optional[int] = None,
+               warmup_ns: Optional[int] = None,
+               seed: Optional[int] = None) -> "Scenario":
+        """Set the measurement window, warm-up, and/or RNG seed."""
+        changes: dict = {}
+        if duration_ns is not None:
+            changes["duration_ns"] = int(duration_ns)
+        if warmup_ns is not None:
+            changes["warmup_ns"] = int(warmup_ns)
+        if seed is not None:
+            changes["seed"] = int(seed)
+        return self._replace(**changes) if changes else self
+
+    def seed(self, seed: int) -> "Scenario":
+        """Set the RNG seed (shorthand for ``timing(seed=...)``)."""
+        return self._replace(seed=int(seed))
+
+    def mode(self, mode: Union[StackMode, str]) -> "Scenario":
+        """Switch the stack mode (accepts a StackMode or its name)."""
+        if isinstance(mode, str):
+            mode = StackMode.parse(mode)
+        return self._replace(mode=mode)
+
+    def kernel(self, **knobs: object) -> "Scenario":
+        """Override :class:`~repro.kernel.config.KernelConfig` tunables
+        (``napi_weight=``, ``napi_budget=``, ``gro_enabled=``, …).
+        Unknown names raise TypeError."""
+        base = self._config.kernel_config or KernelConfig()
+        return self._replace(kernel_config=base.replace(**knobs))
+
+    def costs(self, **knobs: object) -> "Scenario":
+        """Override :class:`~repro.kernel.costs.CostModel` parameters.
+        Unknown names raise TypeError."""
+        base = self._config.costs or CostModel()
+        return self._replace(costs=base.replace(**knobs))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def build(self) -> ExperimentConfig:
+        """The frozen config this scenario describes (cache-key stable)."""
+        return self._config
+
+    def run(self) -> ExperimentResult:
+        """Run the scenario in-process and return its measurements."""
+        return run_experiment(self._config)
+
+    def run_traced(self, options: Optional[TraceOptions] = None
+                   ) -> TracedExperiment:
+        """Run with the observability layer attached (spans, gauges,
+        Fig. 4 breakdown, Chrome-trace export)."""
+        return run_traced_experiment(self._config, options)
+
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        return self._config.label()
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Scenario)
+                and self._config == other._config)
+
+    def __hash__(self) -> int:
+        return hash(self._config)
+
+    def __repr__(self) -> str:
+        return f"Scenario({self._config!r})"
+
+
+def run_scenarios(scenarios: Iterable[Union[Scenario, ExperimentConfig]], *,
+                  jobs: int = 1, cache: bool = False,
+                  cache_dir: Optional["Path"] = None
+                  ) -> List[ExperimentResult]:
+    """Run many scenarios with fan-out and memoization.
+
+    Accepts Scenario objects or raw configs; delegates to
+    :func:`repro.bench.runner.run_experiments`.
+    """
+    from repro.bench.runner import run_experiments  # local, avoids cycle
+
+    configs = [s.build() if isinstance(s, Scenario) else s for s in scenarios]
+    return run_experiments(configs, jobs=jobs, cache=cache,
+                           cache_dir=cache_dir)

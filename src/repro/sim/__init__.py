@@ -27,7 +27,7 @@ Example
 [(10, 'b'), (30, 'a')]
 """
 
-from repro.sim.engine import ScheduledCall, Simulator
+from repro.sim.engine import PeriodicCall, ScheduledCall, Simulator
 from repro.sim.events import AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessKilled
 from repro.sim.rng import SeededRng
@@ -38,6 +38,7 @@ __all__ = [
     "Event",
     "MS",
     "NS",
+    "PeriodicCall",
     "Process",
     "ProcessKilled",
     "ScheduledCall",

@@ -44,7 +44,7 @@ from typing import Any, Callable, Generator, List, Optional
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
 
-__all__ = ["Simulator", "ScheduledCall", "SimulationError"]
+__all__ = ["Simulator", "ScheduledCall", "PeriodicCall", "SimulationError"]
 
 # Uniform entry layout: [time, seq, fn, args].  seq is unique, so list
 # comparison never reaches the (uncomparable) fn/args fields.
@@ -121,6 +121,54 @@ class ScheduledCall:
         return f"<ScheduledCall t={self._entry[_TIME]}{label} {state}>"
 
 
+class PeriodicCall:
+    """Handle for a repeating callback registered via :meth:`Simulator.every`.
+
+    Re-schedules itself after each firing; :meth:`cancel` stops the
+    cycle (and cancels the in-flight timer, so the pending set does not
+    retain it).  A live PeriodicCall keeps the simulation queue
+    non-empty forever — drive such simulations with ``run(until=...)``.
+    """
+
+    __slots__ = ("_sim", "_interval", "_fn", "_args", "_handle", "_cancelled")
+
+    def __init__(self, sim: "Simulator", interval: int,
+                 fn: Callable[..., Any], args: tuple) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._fn = fn
+        self._args = args
+        self._cancelled = False
+        self._handle = sim.schedule(interval, self._fire)
+
+    @property
+    def interval(self) -> int:
+        return self._interval
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._fn(*self._args)
+        self._handle = self._sim.schedule(self._interval, self._fire)
+
+    def cancel(self) -> None:
+        """Stop the cycle.  Idempotent."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "active"
+        return f"<PeriodicCall every={self._interval}ns {state}>"
+
+
 class Simulator:
     """A deterministic discrete-event simulator with an integer-ns clock."""
 
@@ -160,6 +208,21 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}")
         return ScheduledCall(self._push(time, fn, args), self)
+
+    def every(self, interval: int, fn: Callable[..., Any],
+              *args: Any) -> PeriodicCall:
+        """Run ``fn(*args)`` every *interval* nanoseconds (first firing
+        one interval from now) until the returned handle is cancelled.
+
+        The periodic-gauge clock of the observability layer: samplers
+        tick on it without owning a process.  Note a live periodic keeps
+        the queue non-empty — use ``run(until=...)``.
+        """
+        interval = int(interval)
+        if interval <= 0:
+            raise SimulationError(
+                f"periodic interval must be positive, got {interval}")
+        return PeriodicCall(self, interval, fn, args)
 
     def _schedule_event(self, event: Event, delay: int = 0) -> None:
         """Queue a triggered event for processing (internal API)."""

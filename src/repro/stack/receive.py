@@ -62,4 +62,5 @@ def _drop(kernel: "Kernel", netns: "NetNamespace", skb: SKBuff,
           reason: str) -> None:
     name = f"{netns.name}:rcv:{reason}"
     kernel.count_drop(name)
-    kernel.tracer.emit(TracePoint.DROP, queue=name, skb=skb)
+    if kernel.tracer.has_subscribers(TracePoint.DROP):
+        kernel.tracer.emit(TracePoint.DROP, queue=name, skb=skb)

@@ -63,8 +63,9 @@ class UdpSocket:
         self.delivered += 1
         self.delivered_bytes += skb.wire_len
         skb.mark("socket_enqueue", self.kernel.sim.now)
-        self.kernel.tracer.emit(TracePoint.SOCKET_ENQUEUE,
-                                socket=self.rcvbuf.name, skb=skb)
+        if self.kernel.tracer.has_subscribers(TracePoint.SOCKET_ENQUEUE):
+            self.kernel.tracer.emit(TracePoint.SOCKET_ENQUEUE,
+                                    socket=self.rcvbuf.name, skb=skb)
         self._wake_waiter(from_cpu)
         return True
 

@@ -30,6 +30,18 @@ class TracePoint:
     DROP = "drop"
     #: PRISM-sync inline stage execution. fields: device, skb
     SYNC_INLINE = "sync_inline"
+    #: A named span opens on a track. fields: track, name
+    #: (spans nest per track; every SPAN_BEGIN is matched by a SPAN_END
+    #: with the same name in LIFO order — see repro.obs).
+    SPAN_BEGIN = "span_begin"
+    #: A named span closes on a track. fields: track, name
+    SPAN_END = "span_end"
+    #: An skb leaves a queue it waited in. fields: queue, skb, since
+    #: (since = sim-ns of the enqueue; emitted at dequeue time so the
+    #: residency interval is complete when it fires).
+    QUEUE_WAIT = "queue_wait"
+    #: GRO coalesced an skb into a held super-skb. fields: device, skb
+    GRO_MERGE = "gro_merge"
 
 
 class Tracer:

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.bench.experiment import ExperimentConfig, run_traced_experiment
+from repro.prism.mode import StackMode
+from repro.sim.units import MS
+
+#: Short measurement window shared by the observability tests — long
+#: enough to exercise every tracepoint, short enough to stay cheap.
+TRACED_CONFIG = ExperimentConfig(mode=StackMode.VANILLA, fg_rate_pps=2_000,
+                                 bg_rate_pps=50_000, duration_ns=30 * MS,
+                                 warmup_ns=10 * MS)
+
+
+@pytest.fixture(scope="session")
+def traced_small():
+    """One traced run of the canonical small scenario, shared across the
+    observability test modules (the run itself is deterministic)."""
+    return run_traced_experiment(TRACED_CONFIG)

@@ -1,0 +1,110 @@
+"""The Fig. 4 per-stage breakdown and its golden invariants.
+
+Two contracts are pinned here:
+
+1. **Telescoping identity** — the segment means sum to the mean
+   end-to-end kernel latency exactly (the decomposition is lossless).
+2. **Observer neutrality** — attaching the observability layer must not
+   perturb the simulation: the traced run's measurements are
+   digest-identical to an untraced run of the same config.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.experiment import run_experiment
+from repro.bench.runner import result_digest
+from repro.obs.breakdown import StageBreakdown, StageSegment
+from repro.obs.observer import PacketMilestones
+
+from tests.conftest import TRACED_CONFIG
+
+
+def _packet(skb_id, ring_at, alloc_at, stages, socket_at):
+    p = PacketMilestones(skb_id, high_priority=False)
+    p.ring_at = ring_at
+    p.alloc_at = alloc_at
+    p.stages = list(stages)
+    p.socket_at = socket_at
+    return p
+
+
+class TestSyntheticBreakdown:
+    def test_known_segments(self):
+        packets = [
+            _packet(1, 0, 10, [("eth", 30), ("br", 60)], 100),
+            _packet(2, 100, 120, [("eth", 150), ("br", 200)], 220),
+        ]
+        b = StageBreakdown.from_packets(packets)
+        assert b.path == ("eth", "br")
+        assert b.packets == 2 and b.excluded == 0
+        by_name = {s.name: s.mean_ns for s in b.segments}
+        # Packet 1: ring 10, eth 20, br 30, socket 40.
+        # Packet 2: ring 20, eth 30, br 50, socket 20.
+        assert by_name == {"ring": 15.0, "eth": 25.0, "br": 40.0,
+                           "socket": 30.0}
+        assert b.end_to_end_ns == 110.0
+
+    def test_off_path_packets_excluded(self):
+        packets = [
+            _packet(1, 0, 5, [("eth", 10)], 20),
+            _packet(2, 0, 5, [("eth", 10)], 20),
+            _packet(3, 0, 5, [("eth", 10), ("br", 15)], 20),  # off-modal
+        ]
+        b = StageBreakdown.from_packets(packets)
+        assert b.path == ("eth",)
+        assert b.packets == 2 and b.excluded == 1
+
+    def test_incomplete_packets_ignored(self):
+        unfinished = _packet(1, 0, 5, [("eth", 10)], 20)
+        unfinished.socket_at = None
+        b = StageBreakdown.from_packets([unfinished])
+        assert b.packets == 0 and b.segments == ()
+        assert b.render() == "(no completed packets)"
+
+    def test_ring_segment_needs_alloc_on_every_packet(self):
+        packets = [
+            _packet(1, 0, None, [("eth", 10)], 20),
+            _packet(2, 0, 5, [("eth", 10)], 20),
+        ]
+        b = StageBreakdown.from_packets(packets)
+        assert [s.name for s in b.segments] == ["eth", "socket"]
+
+    def test_round_trip_dict(self):
+        b = StageBreakdown.from_packets(
+            [_packet(1, 0, 10, [("eth", 30)], 100)])
+        assert StageBreakdown.from_dict(b.to_dict()) == b
+
+
+class TestGoldenIdentity:
+    def test_segment_means_sum_to_end_to_end(self, traced_small):
+        """The telescoping invariant on a real traced run."""
+        b = traced_small.breakdown
+        assert b.packets > 0
+        total = sum(s.mean_ns for s in b.segments)
+        assert total == pytest.approx(b.end_to_end_ns, rel=1e-12)
+        assert sum(s.share for s in b.segments) == pytest.approx(1.0,
+                                                                 rel=1e-12)
+
+    def test_overlay_modal_path(self, traced_small):
+        """Overlay receive path crosses driver, gro_cells, and veth
+        backlog stages (the paper's Fig. 4 pipeline)."""
+        assert traced_small.breakdown.path == ("eth", "br", "veth")
+        assert [s.name for s in traced_small.breakdown.segments] == \
+            ["ring", "eth", "br", "veth", "socket"]
+
+    def test_breakdown_attached_to_result(self, traced_small):
+        from repro.obs.breakdown import StageBreakdown as SB
+        stored = traced_small.result.stage_breakdown
+        assert stored is not None
+        assert SB.from_dict(stored) == traced_small.breakdown
+
+
+class TestObserverNeutrality:
+    def test_traced_run_digest_matches_untraced(self, traced_small):
+        """Attaching spans/gauges must not change simulation outcomes."""
+        plain = run_experiment(TRACED_CONFIG)
+        stripped = dataclasses.replace(traced_small.result,
+                                       stage_breakdown=None)
+        assert result_digest(stripped) == result_digest(plain)

@@ -1,0 +1,157 @@
+"""Chrome trace_event export: schema validity and orphan handling."""
+
+import json
+
+import pytest
+
+from repro.obs.chrome import (
+    chrome_trace_doc,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.recorder import FlightRecorder
+
+
+def _small_recorder():
+    rec = FlightRecorder(64)
+    rec.begin(1_000, "cpu0", "net_rx_action")
+    rec.begin(1_200, "cpu0", "skb:eth")
+    rec.end(2_000, "cpu0", "skb:eth")
+    rec.end(2_500, "cpu0", "net_rx_action")
+    rec.complete(500, 700, "queue:ring", "wait", {"skb": 3})
+    rec.instant(2_600, "drops", "ring")
+    rec.counter(3_000, "depth:ring", "depth", 2.0)
+    return rec
+
+
+class TestChromeDoc:
+    def test_doc_validates(self):
+        doc = chrome_trace_doc(_small_recorder())
+        validate_chrome_trace(doc)  # must not raise
+
+    def test_metadata_events_lead(self):
+        doc = chrome_trace_doc(_small_recorder(), process_name="unit-test")
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["name"] == "process_name"
+        assert events[0]["args"] == {"name": "unit-test"}
+        thread_meta = [e for e in events if e.get("name") == "thread_name"]
+        named = {e["args"]["name"] for e in thread_meta}
+        assert named == {"cpu0", "queue:ring", "drops", "depth:ring"}
+        # Distinct tids, one per track, none colliding with pid track 0.
+        tids = [e["tid"] for e in thread_meta]
+        assert len(set(tids)) == len(tids) and 0 not in tids
+
+    def test_timestamps_are_microseconds(self):
+        doc = chrome_trace_doc(_small_recorder())
+        begin = next(e for e in doc["traceEvents"]
+                     if e["ph"] == "B" and e["name"] == "net_rx_action")
+        assert begin["ts"] == pytest.approx(1.0)  # 1000 ns -> 1 us
+        x = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert x["ts"] == pytest.approx(0.5)
+        assert x["dur"] == pytest.approx(0.7)
+
+    def test_instants_are_thread_scoped(self):
+        doc = chrome_trace_doc(_small_recorder())
+        i = next(e for e in doc["traceEvents"] if e["ph"] == "i")
+        assert i["s"] == "t"
+
+    def test_orphaned_end_is_filtered(self):
+        """An E whose B was evicted by ring wraparound must not reach
+        the export (viewers reject unbalanced E events)."""
+        rec = FlightRecorder(3)
+        rec.begin(0, "cpu0", "lost")
+        rec.end(10, "cpu0", "lost")     # its B gets evicted below
+        rec.begin(20, "cpu0", "kept")
+        rec.end(30, "cpu0", "kept")
+        assert rec.evicted == 1
+        doc = chrome_trace_doc(rec)
+        validate_chrome_trace(doc)
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] in "BE"]
+        assert names == ["kept", "kept"]
+        assert doc["otherData"]["evicted_events"] == 1
+
+    def test_meta_lands_in_other_data(self):
+        doc = chrome_trace_doc(_small_recorder(), meta={"seed": 7})
+        assert doc["otherData"]["seed"] == 7
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"displayTimeUnit": "ns"})
+
+    def test_rejects_missing_required_key(self):
+        doc = {"traceEvents": [{"ph": "i", "ts": 0, "pid": 1, "tid": 1}]}
+        with pytest.raises(ValueError, match="missing 'name'"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_unknown_phase(self):
+        doc = {"traceEvents": [
+            {"ph": "Z", "ts": 0, "pid": 1, "tid": 1, "name": "x"}]}
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_non_numeric_ts(self):
+        doc = {"traceEvents": [
+            {"ph": "i", "ts": "0", "pid": 1, "tid": 1, "name": "x"}]}
+        with pytest.raises(ValueError, match="not numeric"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_unbalanced_end(self):
+        doc = {"traceEvents": [
+            {"ph": "E", "ts": 1, "pid": 1, "tid": 1, "name": "x"}]}
+        with pytest.raises(ValueError, match="no open B"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_crossed_spans(self):
+        doc = {"traceEvents": [
+            {"ph": "B", "ts": 0, "pid": 1, "tid": 1, "name": "a"},
+            {"ph": "B", "ts": 1, "pid": 1, "tid": 1, "name": "b"},
+            {"ph": "E", "ts": 2, "pid": 1, "tid": 1, "name": "a"},
+        ]}
+        with pytest.raises(ValueError, match="does not match"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_complete_without_duration(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "ts": 0, "pid": 1, "tid": 1, "name": "x"}]}
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_counter_without_numeric_args(self):
+        doc = {"traceEvents": [
+            {"ph": "C", "ts": 0, "pid": 1, "tid": 1, "name": "depth",
+             "args": {"value": "high"}}]}
+        with pytest.raises(ValueError, match="numeric args"):
+            validate_chrome_trace(doc)
+
+    def test_open_span_at_end_is_legal(self):
+        doc = {"traceEvents": [
+            {"ph": "B", "ts": 0, "pid": 1, "tid": 1, "name": "a"}]}
+        validate_chrome_trace(doc)  # viewers close it at trace end
+
+
+class TestWriteChromeTrace:
+    def test_written_file_is_loadable_json(self, tmp_path):
+        out = write_chrome_trace(tmp_path / "trace.json", _small_recorder(),
+                                 meta={"scenario": "unit"})
+        with out.open(encoding="utf-8") as fh:
+            doc = json.load(fh)
+        validate_chrome_trace(doc)
+        assert doc["otherData"]["scenario"] == "unit"
+
+    def test_traced_run_exports_valid_trace(self, traced_small, tmp_path):
+        """End-to-end: a full traced experiment produces a loadable doc
+        with per-CPU spans, queue-wait intervals, and gauge counters."""
+        out = traced_small.write_chrome(tmp_path / "run.json")
+        with out.open(encoding="utf-8") as fh:
+            doc = json.load(fh)
+        validate_chrome_trace(doc)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "B", "E", "X", "C"} <= phases
+        assert doc["otherData"]["seed"] == traced_small.result.config.seed

@@ -1,0 +1,108 @@
+"""Unit tests for the flight-recorder ring buffer (`repro.obs.recorder`)."""
+
+import pytest
+
+from repro.obs.recorder import FlightRecorder, TraceEvent
+
+
+class TestRecording:
+    def test_event_kinds_round_trip(self):
+        rec = FlightRecorder(16)
+        rec.begin(10, "cpu0", "softirq")
+        rec.end(20, "cpu0", "softirq")
+        rec.complete(5, 7, "queue:ring", "wait", {"skb": 1})
+        rec.instant(12, "drops", "ring")
+        rec.counter(15, "depth:ring", "depth", 3.0)
+        phases = [e.ph for e in rec.events()]
+        assert phases == ["B", "E", "X", "i", "C"]
+        assert len(rec) == 5 and rec.recorded == 5 and rec.evicted == 0
+        x = rec.events()[2]
+        assert (x.ts, x.dur, x.track, x.name) == (5, 7, "queue:ring", "wait")
+        assert x.args == {"skb": 1}
+        c = rec.events()[4]
+        assert c.args == {"value": 3.0}
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(0)
+        with pytest.raises(ValueError):
+            FlightRecorder(-5)
+
+
+class TestWraparound:
+    def test_ring_keeps_newest_and_counts_evicted(self):
+        rec = FlightRecorder(4)
+        for i in range(10):
+            rec.instant(i, "t", f"e{i}")
+        assert len(rec) == 4
+        assert rec.recorded == 10
+        assert rec.evicted == 6
+        assert [e.name for e in rec.events()] == ["e6", "e7", "e8", "e9"]
+
+    def test_clear_resets_counters(self):
+        rec = FlightRecorder(2)
+        for i in range(5):
+            rec.instant(i, "t", "e")
+        rec.clear()
+        assert len(rec) == 0 and rec.recorded == 0 and rec.evicted == 0
+
+
+class TestTracks:
+    def test_first_appearance_order(self):
+        rec = FlightRecorder(16)
+        rec.instant(0, "b", "x")
+        rec.instant(1, "a", "x")
+        rec.instant(2, "b", "x")
+        rec.instant(3, "c", "x")
+        assert rec.tracks() == ["b", "a", "c"]
+
+
+class TestSpans:
+    def test_nested_spans_pair_lifo(self):
+        rec = FlightRecorder(16)
+        rec.begin(0, "cpu0", "outer")
+        rec.begin(2, "cpu0", "inner")
+        rec.end(5, "cpu0", "inner")
+        rec.end(9, "cpu0", "outer")
+        assert rec.spans() == [("cpu0", "inner", 2, 5),
+                               ("cpu0", "outer", 0, 9)]
+
+    def test_spans_are_per_track(self):
+        rec = FlightRecorder(16)
+        rec.begin(0, "cpu0", "a")
+        rec.begin(1, "cpu1", "b")
+        rec.end(2, "cpu0", "a")
+        rec.end(3, "cpu1", "b")
+        assert rec.spans("cpu0") == [("cpu0", "a", 0, 2)]
+        assert rec.spans("cpu1") == [("cpu1", "b", 1, 3)]
+
+    def test_unmatched_begin_is_omitted(self):
+        rec = FlightRecorder(16)
+        rec.begin(0, "cpu0", "open-at-exit")
+        assert rec.spans() == []
+
+    def test_mismatched_end_raises(self):
+        rec = FlightRecorder(16)
+        rec.begin(0, "cpu0", "a")
+        rec.end(1, "cpu0", "b")
+        with pytest.raises(ValueError):
+            rec.spans()
+
+    def test_end_whose_begin_was_evicted_is_skipped(self):
+        # Wrap the ring so only the E of the first span survives: the
+        # orphaned E must be ignored, later spans still pair.
+        rec = FlightRecorder(3)
+        rec.begin(0, "cpu0", "lost")
+        rec.end(1, "cpu0", "lost")      # begin evicted below
+        rec.begin(2, "cpu0", "kept")
+        rec.end(3, "cpu0", "kept")
+        assert rec.evicted == 1
+        assert [e.name for e in rec.events()] == ["lost", "kept", "kept"]
+        assert rec.spans() == [("cpu0", "kept", 2, 3)]
+
+
+class TestTraceEvent:
+    def test_slots(self):
+        event = TraceEvent("i", 0, None, "t", "e", None)
+        with pytest.raises(AttributeError):
+            event.extra = 1

@@ -1,0 +1,123 @@
+"""Versioned JSON serialization of configs and results.
+
+These dicts are the disk cache's wire format (which used to be pickle):
+the round trip must be *exact* — every float, enum, and nested frozen
+config — or cache hits would silently perturb results.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.experiment import (
+    SCHEMA_VERSION,
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.bench.runner import ResultCache, config_key, result_digest
+from repro.kernel.config import KernelConfig
+from repro.kernel.costs import CostModel
+from repro.prism.mode import StackMode
+from repro.sim.units import MS
+
+FAST = dict(duration_ns=30 * MS, warmup_ns=10 * MS)
+
+#: Exercises every special case: enum mode, nested frozen configs,
+#: nested tuple-of-tuples (cstate_levels), non-integral floats.
+FULL_CONFIG = ExperimentConfig(
+    mode=StackMode.PRISM_SYNC, fg_rate_pps=1_234.5, bg_rate_pps=50_000,
+    costs=CostModel().replace(hardirq_ns=777,
+                              cstate_levels=((100, 500), (2_000, 9_000))),
+    kernel_config=KernelConfig(napi_weight=16,
+                               initial_mode=StackMode.PRISM_BATCH),
+    **FAST)
+
+
+class TestConfigRoundTrip:
+    def test_json_round_trip_is_exact(self):
+        wire = json.loads(json.dumps(FULL_CONFIG.to_dict()))
+        restored = ExperimentConfig.from_dict(wire)
+        assert restored == FULL_CONFIG
+        assert config_key(restored) == config_key(FULL_CONFIG)
+        # Type fidelity where JSON is lossy by default:
+        assert restored.mode is StackMode.PRISM_SYNC
+        assert restored.kernel_config.initial_mode is StackMode.PRISM_BATCH
+        assert restored.costs.cstate_levels == ((100, 500), (2_000, 9_000))
+        assert isinstance(restored.costs.cstate_levels[0], tuple)
+
+    def test_default_config_round_trip(self):
+        config = ExperimentConfig()
+        assert ExperimentConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))) == config
+
+    def test_dict_carries_version(self):
+        assert FULL_CONFIG.to_dict()["version"] == SCHEMA_VERSION
+
+    def test_newer_schema_rejected(self):
+        data = FULL_CONFIG.to_dict()
+        data["version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            ExperimentConfig.from_dict(data)
+
+
+class TestResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(ExperimentConfig(fg_rate_pps=2_000,
+                                               bg_rate_pps=50_000, **FAST))
+
+    def test_json_round_trip_is_digest_identical(self, result):
+        wire = json.loads(json.dumps(result.to_dict()))
+        restored = ExperimentResult.from_dict(wire)
+        assert result_digest(restored) == result_digest(result)
+        assert restored == result
+
+    def test_latency_summary_survives(self, result):
+        restored = ExperimentResult.from_dict(result.to_dict())
+        assert restored.fg_latency == result.fg_latency
+        assert restored.fg_samples_ns == result.fg_samples_ns
+
+    def test_newer_schema_rejected(self, result):
+        data = result.to_dict()
+        data["version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            ExperimentResult.from_dict(data)
+
+
+class TestJsonCache:
+    def test_cache_entries_are_json_files(self, tmp_path):
+        config = ExperimentConfig(fg_rate_pps=2_000, **FAST)
+        result = run_experiment(config)
+        cache = ResultCache(tmp_path)
+        cache.put(config, result)
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        with entries[0].open(encoding="utf-8") as fh:
+            doc = json.load(fh)  # plain JSON, inspectable without pickle
+        assert doc["version"] == SCHEMA_VERSION
+        cached = cache.get(config)
+        assert cached is not None
+        assert result_digest(cached) == result_digest(result)
+
+    def test_valid_json_wrong_shape_is_a_miss(self, tmp_path):
+        config = ExperimentConfig(fg_rate_pps=2_000, **FAST)
+        cache = ResultCache(tmp_path)
+        cache.put(config, run_experiment(config))
+        from repro.bench.runner import config_key as key
+        cache._path(key(config)).write_text('{"version": 1}',
+                                            encoding="utf-8")
+        assert cache.get(config) is None
+
+    def test_traced_result_round_trips_breakdown(self, tmp_path):
+        """stage_breakdown (set by traced runs) survives the cache."""
+        config = ExperimentConfig(fg_rate_pps=2_000, **FAST)
+        result = run_experiment(config)
+        result = dataclasses.replace(
+            result, stage_breakdown={"version": 1, "path": ["eth"],
+                                     "end_to_end_ns": 10.0, "packets": 1,
+                                     "excluded": 0, "segments": []})
+        restored = ExperimentResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert restored.stage_breakdown == result.stage_breakdown
