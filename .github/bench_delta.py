@@ -1,16 +1,28 @@
 #!/usr/bin/env python3
-"""Emit a markdown table comparing two BENCH_engine.json files.
+"""Emit a markdown table comparing two BENCH_*.json files.
 
-Usage: bench_delta.py <baseline.json> <current.json>
+Usage: bench_delta.py <baseline.json> <current.json> [--gate PCT]
 
 Compares the most recent run in each file workload-by-workload and
 prints GitHub-flavoured markdown (intended for $GITHUB_STEP_SUMMARY).
-Informational only — CI perf boxes are too noisy to gate on; the
-enforced 3% budget is checked on dedicated hardware instead.
+Handles both the engine files (``events_per_sec``) and the packet-path
+files (``packets_per_sec``); the per-workload metric is detected from
+the data.
+
+Without ``--gate`` the output is informational only — CI perf boxes are
+too noisy to gate tightly; the enforced 3% budget is checked on
+dedicated hardware instead.  With ``--gate PCT`` the script exits
+non-zero when the canonical headline metric regressed by more than
+PCT percent — a wide tripwire for "someone deoptimized the hot path",
+not a precision benchmark.
 """
 
+import argparse
 import json
 import sys
+
+#: Per-workload throughput keys, in detection order.
+METRIC_KEYS = ("events_per_sec", "packets_per_sec")
 
 
 def latest_run(path):
@@ -22,13 +34,22 @@ def latest_run(path):
     return runs[-1]
 
 
-def main(argv):
-    if len(argv) != 3:
-        raise SystemExit(__doc__)
-    baseline = latest_run(argv[1])
-    current = latest_run(argv[2])
+def detect_metric(*runs):
+    """The per-workload throughput key used by these runs."""
+    for run in runs:
+        for stats in run.get("workloads", {}).values():
+            for key in METRIC_KEYS:
+                if key in stats:
+                    return key
+    raise SystemExit("no known throughput metric in either file "
+                     f"(looked for {', '.join(METRIC_KEYS)})")
 
-    print("### Engine microbenchmark vs committed baseline")
+
+def print_table(baseline, current, metric):
+    unit = metric.replace("_per_sec", "/s").replace("events", "ev")
+    unit = unit.replace("packets", "pkt")
+    suite = "Packet-path" if "packets" in metric else "Engine"
+    print(f"### {suite} benchmark vs committed baseline")
     print()
     print(f"baseline: `{baseline.get('label', '?')}` "
           f"({baseline.get('timestamp', '?')}, "
@@ -36,13 +57,13 @@ def main(argv):
           f"current: `{current.get('label', '?')}` "
           f"(quick={current.get('quick')})")
     print()
-    print("| workload | baseline ev/s | current ev/s | delta |")
+    print(f"| workload | baseline {unit} | current {unit} | delta |")
     print("|---|---:|---:|---:|")
     base_wl = baseline.get("workloads", {})
     cur_wl = current.get("workloads", {})
     for name in sorted(set(base_wl) | set(cur_wl)):
-        old = base_wl.get(name, {}).get("events_per_sec")
-        new = cur_wl.get(name, {}).get("events_per_sec")
+        old = base_wl.get(name, {}).get(metric)
+        new = cur_wl.get(name, {}).get(metric)
         if old and new:
             delta = f"{(new - old) / old * 100:+.1f}%"
         else:
@@ -51,9 +72,49 @@ def main(argv):
         print(f"| {name} | {fmt(old)} | {fmt(new)} | {delta} |")
     print()
     print("_Different machines (CI runner vs baseline box): deltas are "
-          "informational, not a gate._")
+          "informational; only the wide `--gate` tripwire fails the job._")
+
+
+def check_gate(baseline, current, metric, gate_pct):
+    """Non-zero exit when the canonical headline regressed past the gate."""
+    headline = "canonical_" + metric
+    old = baseline.get(headline)
+    new = current.get(headline)
+    if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+        print(f"gate: headline `{headline}` missing — skipped")
+        return 0
+    if not old:
+        print("gate: baseline headline is zero — skipped")
+        return 0
+    delta_pct = (new - old) / old * 100
+    print()
+    print(f"gate: canonical `{baseline.get('canonical', '?')}` "
+          f"{old:,.0f} -> {new:,.0f} ({delta_pct:+.1f}%, "
+          f"budget -{gate_pct:.0f}%)")
+    if delta_pct < -gate_pct:
+        print(f"**FAIL: canonical metric regressed {-delta_pct:.1f}% "
+              f"(> {gate_pct:.0f}% budget)**")
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--gate", type=float, metavar="PCT", default=None,
+                        help="fail when the canonical headline metric "
+                             "regressed by more than PCT percent")
+    args = parser.parse_args(argv)
+
+    baseline = latest_run(args.baseline)
+    current = latest_run(args.current)
+    metric = detect_metric(baseline, current)
+    print_table(baseline, current, metric)
+    if args.gate is not None:
+        return check_gate(baseline, current, metric, args.gate)
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main())

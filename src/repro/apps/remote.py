@@ -15,11 +15,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.fastpath.headercache import CachedUdpBuilder
 from repro.overlay.network import RemoteContainer, RemoteHost
 from repro.overlay.topology import OverlayNetwork
 from repro.packet.addr import Ipv4Address
 from repro.packet.packet import Packet
-from repro.stack.egress import apply_encap, build_tcp_segments, build_udp_packet
+from repro.stack.egress import apply_encap, build_tcp_segments
 from repro.stack.tcp import TcpMessage, TcpSegment
 
 __all__ = ["RemoteRequestSender", "RemoteTcpReassembler"]
@@ -37,18 +38,19 @@ class RemoteRequestSender:
         self.mss = mss
         self._dst_endpoint = overlay.endpoint(self.dst_ip)
         self._encap = overlay.encap_info(client.ip, client.mac, self.dst_ip)
+        self._builder = CachedUdpBuilder()
         self.sent_packets = 0
 
     def send_udp(self, *, src_port: int, dst_port: int,
                  payload: Any, payload_len: int,
                  created_at: Optional[int] = None) -> Packet:
         """Encapsulate and transmit one UDP datagram; returns the packet."""
-        inner = build_udp_packet(
+        packet = self._builder.build(
             src_mac=self.src.mac, dst_mac=self._dst_endpoint.mac,
             src_ip=self.src.ip, dst_ip=self.dst_ip,
             src_port=src_port, dst_port=dst_port,
-            payload=payload, payload_len=payload_len, created_at=created_at)
-        packet = apply_encap(inner, self._encap)
+            payload=payload, payload_len=payload_len, created_at=created_at,
+            encap=self._encap)
         self.client.transmit(packet)
         self.sent_packets += 1
         return packet

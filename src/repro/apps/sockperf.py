@@ -69,13 +69,18 @@ class SockperfUdpServer:
 
     def _run(self):
         sim = self.container.host.sim
+        pool = self.socket.kernel.skb_pool
         while True:
             skb = yield from self.socket.recv()
             self.received.record(sim.now, skb.wire_len)
+            # The datagram's payload/headers live on the packet; the skb
+            # metadata is done once it leaves the receive buffer, so it
+            # goes back to the kernel's free list before the app "work".
+            packet = skb.packet
+            pool.recycle(skb)
             yield Work(self.app_work_ns)
             if not self.reply:
                 continue
-            packet = skb.packet
             ip = packet.ip
             l4 = packet.l4
             if ip is None or l4 is None:

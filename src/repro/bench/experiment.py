@@ -233,6 +233,7 @@ def _host_network_setup(testbed: Testbed, config: ExperimentConfig,
     """Foreground/background served by host (root-namespace) sockets."""
     from repro.apps.remote import RemoteRequestSender  # local, avoids cycle
     from repro.apps.sockperf import PingRecord
+    from repro.fastpath.headercache import CachedUdpBuilder
     import itertools
 
     sim = testbed.sim
@@ -241,11 +242,13 @@ def _host_network_setup(testbed: Testbed, config: ExperimentConfig,
     fg_meter = ThroughputMeter("fg", warmup_until_ns=config.warmup_ns)
 
     def fg_server():
+        pool = server.kernel.skb_pool
         while True:
             skb = yield from fg_socket.recv()
             fg_meter.record(sim.now, skb.wire_len)
-            yield Work(600)
             packet = skb.packet
+            pool.recycle(skb)
+            yield Work(600)
             if config.fg_kind != "pingpong" or packet.ip is None:
                 continue
             yield from server.egress.udp_send(
@@ -258,13 +261,14 @@ def _host_network_setup(testbed: Testbed, config: ExperimentConfig,
 
     seq = itertools.count(1)
 
+    builder = CachedUdpBuilder()
+
     def client_sender():
         interval = SEC / config.fg_rate_pps
         next_send = float(sim.now)
         while True:
-            from repro.stack.egress import build_udp_packet
             record = PingRecord(seq=next(seq), sent_at=sim.now)
-            packet = build_udp_packet(
+            packet = builder.build(
                 src_mac=testbed.client.mac, dst_mac=server.mac,
                 src_ip=testbed.client.ip, dst_ip=server.ip,
                 src_port=30001, dst_port=FG_PORT,
@@ -291,20 +295,21 @@ def _host_network_setup(testbed: Testbed, config: ExperimentConfig,
         bg_socket = server.udp_socket(BG_PORT, core_id=2)
 
         def bg_server():
+            pool = server.kernel.skb_pool
             while True:
                 skb = yield from bg_socket.recv()
                 bg_meter.record(sim.now, skb.wire_len)
+                pool.recycle(skb)
                 yield Work(400)
 
         server.spawn(bg_server(), core_id=2, name="bg-host-server")
 
         def bg_sender():
-            from repro.stack.egress import build_udp_packet
             interval = SEC / config.bg_rate_pps
             next_burst = float(sim.now)
             while True:
                 for _ in range(config.bg_burst):
-                    packet = build_udp_packet(
+                    packet = builder.build(
                         src_mac=testbed.client.mac, dst_mac=server.mac,
                         src_ip=testbed.client.ip, dst_ip=server.ip,
                         src_port=30002, dst_port=BG_PORT,

@@ -19,6 +19,7 @@ from repro.kernel.costs import CostModel
 from repro.kernel.cpu import CpuCore
 from repro.kernel.net_rx_prism import net_rx_action_prism
 from repro.kernel.net_rx_vanilla import net_rx_action_vanilla
+from repro.fastpath.pool import SkbPool
 from repro.kernel.softnet import NET_RX_SOFTIRQ, SoftnetData
 from repro.prism.classifier import PriorityClassifier
 from repro.prism.mode import StackMode
@@ -62,6 +63,10 @@ class Kernel:
             cpu.register_softirq(
                 NET_RX_SOFTIRQ, self._make_net_rx_handler(softnet))
 
+        #: Per-experiment skb allocator + free list.  Ids start at 1 for
+        #: every kernel instance; set ``skb_pool.enabled = False`` to
+        #: disable object reuse (ids stay per-experiment either way).
+        self.skb_pool = SkbPool()
         #: Drop counters by queue name (populated by NapiStruct/sockets).
         self.drops: Dict[str, int] = {}
         #: Optional receive packet steering (see :meth:`enable_rps`).

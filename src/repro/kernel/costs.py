@@ -148,18 +148,44 @@ class CostModel:
         return dataclasses.replace(self, **changes)
 
     # ------------------------------------------------------------------
-    # Derived helpers
+    # Derived helpers (memoized)
     # ------------------------------------------------------------------
+    # The helpers below sit on the per-packet hot path and are pure
+    # functions of (model fields, arguments), so each instance memoizes
+    # them.  Wire lengths come from a handful of fixed packet shapes per
+    # experiment, so the tables stay tiny.  The caches are attached via
+    # object.__setattr__ (frozen dataclass) and are not dataclass fields:
+    # equality, hashing, repr, and serialization are unaffected, and
+    # ``replace()`` builds a fresh instance with fresh caches.
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_stage_cache", {})
+        object.__setattr__(self, "_egress_cache", {})
+        object.__setattr__(self, "_wire_cache", {})
+
     def stage_packet_cost(self, stage_base_ns: int, wire_len: int,
                           *, is_copy_stage: bool = False) -> int:
         """Per-packet cost of one stage for a packet of *wire_len* bytes."""
-        per_byte = self.copy_per_byte_ns if is_copy_stage else self.touch_per_byte_ns
-        return int(stage_base_ns + per_byte * wire_len)
+        key = (stage_base_ns, wire_len, is_copy_stage)
+        cost = self._stage_cache.get(key)
+        if cost is None:
+            per_byte = (self.copy_per_byte_ns if is_copy_stage
+                        else self.touch_per_byte_ns)
+            cost = int(stage_base_ns + per_byte * wire_len)
+            self._stage_cache[key] = cost
+        return cost
 
     def egress_cost(self, wire_len: int) -> int:
         """Per-packet egress cost for a packet of *wire_len* bytes."""
-        return int(self.egress_pkt_ns + self.egress_per_byte_ns * wire_len)
+        cost = self._egress_cache.get(wire_len)
+        if cost is None:
+            cost = int(self.egress_pkt_ns + self.egress_per_byte_ns * wire_len)
+            self._egress_cache[wire_len] = cost
+        return cost
 
     def wire_time(self, wire_len: int) -> int:
         """One-way wire time: latency + serialization."""
-        return int(self.wire_latency_ns + wire_len / self.wire_bytes_per_ns)
+        cost = self._wire_cache.get(wire_len)
+        if cost is None:
+            cost = int(self.wire_latency_ns + wire_len / self.wire_bytes_per_ns)
+            self._wire_cache[wire_len] = cost
+        return cost

@@ -51,6 +51,12 @@ class CpuContext(enum.Enum):
     USER = "user"
     CSTATE_EXIT = "cstate_exit"
 
+    # Enum's default __hash__ re-hashes the member *name* string through
+    # a Python-level call on every dict operation; members are singletons
+    # compared by identity, so the C-level id hash is equivalent and much
+    # cheaper — and CpuStats.add hashes a context twice per CPU slice.
+    __hash__ = object.__hash__
+
 
 class Work:
     """Yielded by a thread/handler: consume this much CPU time (ns)."""

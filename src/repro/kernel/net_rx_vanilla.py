@@ -36,9 +36,11 @@ def net_rx_action_vanilla(kernel: "Kernel", softnet: SoftnetData
     tracer = kernel.tracer
     # Hoist the subscriber checks: with nothing attached this function
     # must not build tracepoint field dicts or poll-list snapshots.
-    trace_polls = tracer.has_subscribers(TracePoint.NAPI_POLL)
-    spans = tracer.has_subscribers(TracePoint.SPAN_BEGIN)
-    if tracer.has_subscribers(TracePoint.NET_RX_ACTION):
+    # ``tracer.active`` short-circuits all three per-softirq probes.
+    active = tracer.active
+    trace_polls = active and tracer.has_subscribers(TracePoint.NAPI_POLL)
+    spans = active and tracer.has_subscribers(TracePoint.SPAN_BEGIN)
+    if active and tracer.has_subscribers(TracePoint.NET_RX_ACTION):
         tracer.emit(TracePoint.NET_RX_ACTION, cpu=cpu.core_id,
                     mode="vanilla")
     if spans:

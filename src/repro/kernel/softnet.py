@@ -81,7 +81,8 @@ class NapiStruct:
         if not ok:
             self.kernel.tracer.emit(TracePoint.DROP, queue=queue.name, skb=skb)
             self.kernel.drops[queue.name] = self.kernel.drops.get(queue.name, 0) + 1
-        elif self.kernel.tracer.has_subscribers(TracePoint.QUEUE_WAIT):
+        elif self.kernel.tracer.active and \
+                self.kernel.tracer.has_subscribers(TracePoint.QUEUE_WAIT):
             # Stamp the enqueue time so the dequeue side can emit the
             # complete residency interval.  Only when an observer is
             # attached: the mark is a dict insert per packet otherwise.
@@ -99,6 +100,24 @@ class NapiStruct:
         """
         self.polls += 1
         tracer = self.kernel.tracer
+        if not tracer.active:
+            # Untraced fast lane: one gate check per *batch*.  No wait
+            # marks were stamped at enqueue, no spans or stage_done fire,
+            # so the whole per-skb tracepoint ceremony is skipped — the
+            # yield sequence (and therefore the schedule) is identical.
+            yield self.kernel.costs.device_poll_overhead_ns
+            queue = self.queue_high if self.queue_high else self.queue_low
+            fixed_stage = self.stage
+            softnet = self.softnet
+            processed = 0
+            while processed < batch_size and queue:
+                skb = queue.dequeue()
+                stage = (fixed_stage if fixed_stage is not None
+                         else self._stage_for(skb))
+                yield from stage.process(skb, softnet)
+                processed += 1
+            self.packets_processed += processed
+            return processed
         trace_waits = tracer.has_subscribers(TracePoint.QUEUE_WAIT)
         yield self.kernel.costs.device_poll_overhead_ns
         queue = self.queue_high if self.queue_high else self.queue_low
@@ -121,9 +140,13 @@ class NapiStruct:
         The skb never touches the input queues; per the paper's footnote,
         the stage still executes in this device's context (same cost).
         """
-        if self.kernel.tracer.has_subscribers(TracePoint.SYNC_INLINE):
-            self.kernel.tracer.emit(TracePoint.SYNC_INLINE, device=self.name,
-                                    skb=skb)
+        tracer = self.kernel.tracer
+        if not tracer.active:
+            yield from self._stage_for(skb).process(skb, self.softnet)
+            self.packets_processed += 1
+            return
+        if tracer.has_subscribers(TracePoint.SYNC_INLINE):
+            tracer.emit(TracePoint.SYNC_INLINE, device=self.name, skb=skb)
         yield from self._process_skb(skb)
         self.packets_processed += 1
 

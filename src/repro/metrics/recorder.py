@@ -2,42 +2,75 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from array import array
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.kernel.cpu import CpuContext, CpuCore, CpuStats
 from repro.metrics.cdf import Cdf
 from repro.metrics.stats import LatencySummary, summarize_ns
+from repro.metrics.streaming import ReservoirSample, StreamingQuantiles
 
 __all__ = ["LatencyRecorder", "ThroughputMeter", "CpuUtilizationSampler"]
 
 
 class LatencyRecorder:
-    """Collects latency samples (ns) with optional warm-up gating."""
+    """Collects latency samples (ns) with optional warm-up gating.
 
-    def __init__(self, name: str = "", warmup_until_ns: int = 0) -> None:
+    Two storage backends:
+
+    - **exact** (default) — every sample kept in a compact ``array('q')``
+      (8 bytes/sample instead of a pointer to a boxed int); summaries
+      and CDFs are computed exactly.  This is what the bench harness
+      uses — experiment results stay bit-exact.
+    - **streaming** (``streaming=True``) — O(1) memory: P² quantile
+      markers feed :meth:`summary` and a seeded reservoir of
+      ``reservoir_k`` samples feeds :meth:`cdf`.  ``samples_ns`` stays
+      empty; use this for unbounded interactive sweeps.
+    """
+
+    def __init__(self, name: str = "", warmup_until_ns: int = 0, *,
+                 streaming: bool = False, reservoir_k: int = 4096,
+                 seed: int = 0) -> None:
         self.name = name
         #: Samples recorded at virtual times before this are discarded.
         self.warmup_until_ns = warmup_until_ns
-        self.samples_ns: List[int] = []
+        self.streaming = streaming
+        self.samples_ns: Sequence[int] = array("q")
         self.discarded = 0
+        self.count = 0
+        self._quantiles: Optional[StreamingQuantiles] = None
+        self._reservoir: Optional[ReservoirSample] = None
+        if streaming:
+            self._quantiles = StreamingQuantiles()
+            self._reservoir = ReservoirSample(reservoir_k, seed=seed)
 
     def record(self, latency_ns: int, at_ns: Optional[int] = None) -> None:
         if at_ns is not None and at_ns < self.warmup_until_ns:
             self.discarded += 1
             return
+        self.count += 1
+        if self._quantiles is not None:
+            self._quantiles.add(latency_ns)
+            self._reservoir.add(latency_ns)
+            return
         self.samples_ns.append(latency_ns)
 
     def summary(self) -> Optional[LatencySummary]:
+        if self._quantiles is not None:
+            return self._quantiles.summary()
         return summarize_ns(self.samples_ns)
 
     def cdf(self) -> Cdf:
+        if self._reservoir is not None:
+            return Cdf(self._reservoir.samples)
         return Cdf(self.samples_ns)
 
     def __len__(self) -> int:
-        return len(self.samples_ns)
+        return self.count
 
     def __repr__(self) -> str:
-        return f"<LatencyRecorder {self.name!r} n={len(self.samples_ns)}>"
+        mode = "streaming" if self.streaming else "exact"
+        return f"<LatencyRecorder {self.name!r} n={self.count} {mode}>"
 
 
 class ThroughputMeter:
@@ -48,11 +81,17 @@ class ThroughputMeter:
         self.warmup_until_ns = warmup_until_ns
         self.count = 0
         self.bytes = 0
+        #: Events that arrived before the warm-up window closed.  Exposed
+        #: so summaries can show how much traffic the gate swallowed (a
+        #: meter reading zero because *everything* landed in warm-up
+        #: looks identical to a dead workload otherwise).
+        self.discarded = 0
         self.first_at: Optional[int] = None
         self.last_at: Optional[int] = None
 
     def record(self, at_ns: int, nbytes: int = 0) -> None:
         if at_ns < self.warmup_until_ns:
+            self.discarded += 1
             return
         self.count += 1
         self.bytes += nbytes
@@ -67,8 +106,19 @@ class ThroughputMeter:
             return 0.0
         return self.count * 1e9 / elapsed
 
+    def summary(self) -> Dict[str, Optional[int]]:
+        """Counters as a plain dict (for reports and JSON dumps)."""
+        return {
+            "count": self.count,
+            "bytes": self.bytes,
+            "discarded": self.discarded,
+            "first_at": self.first_at,
+            "last_at": self.last_at,
+        }
+
     def __repr__(self) -> str:
-        return f"<ThroughputMeter {self.name!r} count={self.count}>"
+        return (f"<ThroughputMeter {self.name!r} count={self.count} "
+                f"discarded={self.discarded}>")
 
 
 class CpuUtilizationSampler:

@@ -1,0 +1,208 @@
+"""O(1)-memory streaming estimators for latency distributions.
+
+Long load sweeps at hundreds of kpps record millions of latency samples;
+storing every one costs memory proportional to the run length.  This
+module provides bounded-memory alternatives the
+:class:`~repro.metrics.recorder.LatencyRecorder` can switch to:
+
+- :class:`P2Quantile` — the P² (piecewise-parabolic) single-quantile
+  estimator of Jain & Chlamtac (CACM 1985): five markers, O(1) per
+  sample, no storage of the sample stream.
+- :class:`StreamingQuantiles` — a fixed battery of P² markers plus
+  exact count/min/avg/max, producing the same
+  :class:`~repro.metrics.stats.LatencySummary` shape as the exact path.
+- :class:`ReservoirSample` — deterministic (seeded) uniform reservoir
+  of *k* samples, used to back an approximate CDF.
+
+Everything here is deterministic for a fixed input stream and seed —
+the simulator's reproducibility contract extends to these estimators.
+The bench harness does **not** use them (experiment digests stay exact);
+they are opt-in for interactive exploration and memory-bounded sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.metrics.stats import LatencySummary
+
+__all__ = ["P2Quantile", "StreamingQuantiles", "ReservoirSample"]
+
+
+class P2Quantile:
+    """Streaming estimate of one quantile via the P² algorithm.
+
+    Keeps five markers whose heights approximate the quantile curve;
+    every observation adjusts marker positions with a piecewise-parabolic
+    (or linear, at the edges) interpolation.  Exact until five samples
+    have been seen.
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments",
+                 "count")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._heights: List[float] = []
+        self._positions = [1, 2, 3, 4, 5]
+        self._desired = [1.0, 1.0 + 2 * q, 1.0 + 4 * q, 3.0 + 2 * q, 5.0]
+        self._increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+        self.count = 0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(float(x))
+            heights.sort()
+            return
+
+        positions = self._positions
+        if x < heights[0]:
+            heights[0] = float(x)
+            cell = 0
+        elif x >= heights[4]:
+            heights[4] = float(x)
+            cell = 3
+        else:
+            cell = 0
+            while x >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1
+        desired = self._desired
+        for i in range(5):
+            desired[i] += self._increments[i]
+
+        for i in (1, 2, 3):
+            d = desired[i] - positions[i]
+            if ((d >= 1 and positions[i + 1] - positions[i] > 1)
+                    or (d <= -1 and positions[i - 1] - positions[i] < -1)):
+                step = 1 if d >= 1 else -1
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, step: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step * (h[i + step] - h[i]) / (n[i + step] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (exact below five samples)."""
+        heights = self._heights
+        if not heights:
+            raise ValueError("no samples observed")
+        if self.count <= 5:
+            # Heights are still the sorted raw samples (marker updates
+            # only start with the sixth observation).
+            # Exact small-sample quantile (nearest-rank interpolation).
+            rank = self.q * (len(heights) - 1)
+            low = int(rank)
+            high = min(low + 1, len(heights) - 1)
+            frac = rank - low
+            return heights[low] * (1 - frac) + heights[high] * frac
+        return self._heights[2]
+
+    def __repr__(self) -> str:
+        est = f"{self.value:.1f}" if self._heights else "—"
+        return f"<P2Quantile q={self.q} n={self.count} est={est}>"
+
+
+class StreamingQuantiles:
+    """Exact moments + P² marker battery matching ``LatencySummary``."""
+
+    __slots__ = ("count", "_min", "_max", "_sum", "_p50", "_p90", "_p99",
+                 "_p999")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._sum = 0.0
+        self._p50 = P2Quantile(0.50)
+        self._p90 = P2Quantile(0.90)
+        self._p99 = P2Quantile(0.99)
+        self._p999 = P2Quantile(0.999)
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        value = float(x)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._sum += value
+        self._p50.add(value)
+        self._p90.add(value)
+        self._p99.add(value)
+        self._p999.add(value)
+
+    def summary(self) -> Optional[LatencySummary]:
+        """Approximate summary in the exact path's shape; None when empty."""
+        if self.count == 0:
+            return None
+        return LatencySummary(
+            count=self.count,
+            min_ns=self._min,
+            avg_ns=self._sum / self.count,
+            p50_ns=self._p50.value,
+            p90_ns=self._p90.value,
+            p99_ns=self._p99.value,
+            p999_ns=self._p999.value,
+            max_ns=self._max,
+        )
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class ReservoirSample:
+    """Uniform random sample of *k* items from an unbounded stream.
+
+    Algorithm R with a private seeded :class:`random.Random`, so the kept
+    set is a deterministic function of (stream, k, seed).  Backs the
+    approximate CDF of a streaming-mode recorder.
+    """
+
+    __slots__ = ("k", "_rng", "_kept", "count")
+
+    def __init__(self, k: int, seed: int = 0) -> None:
+        if k <= 0:
+            raise ValueError(f"reservoir size must be positive, got {k}")
+        self.k = k
+        self._rng = random.Random(seed)
+        self._kept: List[float] = []
+        self.count = 0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        if len(self._kept) < self.k:
+            self._kept.append(float(x))
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.k:
+            self._kept[slot] = float(x)
+
+    @property
+    def samples(self) -> List[float]:
+        """The kept sample (unordered); at most *k* items."""
+        return list(self._kept)
+
+    def __len__(self) -> int:
+        return len(self._kept)
+
+    def __repr__(self) -> str:
+        return f"<ReservoirSample k={self.k} n={self.count}>"

@@ -30,7 +30,7 @@ from repro.netdev.device import NetDevice, PacketStage
 from repro.netdev.queues import PacketQueue
 from repro.packet.addr import Ipv4Address, MacAddress
 from repro.packet.packet import Packet, vxlan_decapsulate
-from repro.packet.skb import SKBuff
+from repro.packet.skb import SKBuff  # noqa: F401 (re-exported for drivers)
 from repro.stack.receive import protocol_rcv
 from repro.trace.tracer import TracePoint
 
@@ -49,6 +49,31 @@ class NicStage(PacketStage):
 
     def __init__(self, nic: "PhysicalNic") -> None:
         self.nic = nic
+        #: id(outer headers tuple) -> (outer headers, inner headers,
+        #: inner layer cache).  Decapsulation is a pure function of the
+        #: header stack, and senders share stacks per flow (see
+        #: :class:`~repro.fastpath.headercache.CachedUdpBuilder`), so the
+        #: slice-and-rescan work is done once per stack.  Keying by
+        #: identity is safe because the entry holds a strong reference to
+        #: the outer tuple (its id can never be reused); the size cap
+        #: bounds memory when senders do not share stacks.
+        self._decap_memo: Dict[int, Tuple] = {}
+
+    def _decap(self, packet: Packet) -> Packet:
+        entry = self._decap_memo.get(id(packet.headers))
+        if entry is None:
+            _header, inner = vxlan_decapsulate(packet)
+            if len(self._decap_memo) < 64:
+                self._decap_memo[id(packet.headers)] = (
+                    packet.headers, inner.headers, inner._scan())
+            return inner
+        _outer, inner_headers, layer_cache = entry
+        inner = Packet(headers=inner_headers, payload=packet.payload,
+                       payload_len=packet.payload_len,
+                       created_at=packet.created_at,
+                       packet_id=packet.packet_id)
+        inner._cache = layer_cache
+        return inner
 
     def process(self, skb: SKBuff, softnet: "SoftnetData"
                 ) -> Generator[int, None, None]:
@@ -72,13 +97,14 @@ class NicStage(PacketStage):
                         target.napi_schedule_head(target.backlog)
                     else:
                         target.napi_schedule(target.backlog)
+                else:
+                    kernel.skb_pool.recycle(skb)  # backlog overflow drop
                 return
         if packet.is_vxlan:
             vxlan_dev = self.nic.vxlan_by_vni.get(packet.vxlan.vni)
             if vxlan_dev is not None:
                 yield costs.stage_packet_cost(costs.nic_pkt_ns, skb.wire_len)
-                _header, inner = vxlan_decapsulate(packet)
-                skb.packet = inner
+                skb.packet = self._decap(packet)
                 yield from vxlan_dev.gro_cells_receive(skb, softnet)
                 return
         # Host network: the entire pipeline is this one stage.
@@ -111,6 +137,36 @@ class NicNapi(NapiStruct):
         self.polls += 1
         kernel = self.kernel
         tracer = kernel.tracer
+        if not tracer.active:
+            # Untraced fast lane: skbs come from the kernel's free-list
+            # pool, no tracepoint gates are consulted per skb, and the
+            # driver stage is dispatched directly.  The yield sequence
+            # (and so the schedule) is identical to the traced path.
+            pool = kernel.skb_pool
+            classify = kernel.classifier.classify
+            mode = kernel.mode
+            stage = self.stage
+            softnet = self.softnet
+            sim = kernel.sim
+            yield kernel.costs.device_poll_overhead_ns
+            ring = (self.nic.ring_high
+                    if self.nic.ring_high is not None and self.nic.ring_high
+                    else self.nic.ring)
+            processed = 0
+            while processed < batch_size and ring:
+                arrival, packet = ring.dequeue()
+                now = sim.now
+                skb = pool.alloc(packet, dev=self.nic, alloc_time=now)
+                marks = skb.marks
+                marks["rx_ring"] = arrival
+                marks["skb_alloc"] = now
+                lookup_cost = classify(skb, mode)
+                if lookup_cost:
+                    yield lookup_cost
+                yield from stage.process(skb, softnet)
+                processed += 1
+            self.packets_processed += processed
+            return processed
         trace_allocs = tracer.has_subscribers(TracePoint.SKB_ALLOC)
         trace_waits = tracer.has_subscribers(TracePoint.QUEUE_WAIT)
         yield kernel.costs.device_poll_overhead_ns
@@ -120,7 +176,8 @@ class NicNapi(NapiStruct):
         processed = 0
         while processed < batch_size and ring:
             arrival, packet = ring.dequeue()
-            skb = SKBuff(packet, dev=self.nic, alloc_time=kernel.sim.now)
+            skb = kernel.skb_pool.alloc(packet, dev=self.nic,
+                                        alloc_time=kernel.sim.now)
             skb.mark("rx_ring", arrival)
             skb.mark("skb_alloc", kernel.sim.now)
             if trace_waits:

@@ -41,6 +41,26 @@ class NotVxlanError(ValueError):
     """Raised when decapsulating a packet that is not VXLAN-encapsulated."""
 
 
+#: Sentinel marking a lazily-computed cache slot as "not computed yet"
+#: (``None`` is a legitimate cached value for most of them).
+_UNSET = object()
+
+
+class _LayerCache:
+    """One-pass scan results over a packet's (immutable) header tuple.
+
+    Every hot-path accessor (``header_len``, ``ip``, ``inner_l4``, flow
+    keys, ...) reads from here instead of re-walking the header stack.
+    The cache remembers which tuple it was computed from; reassigning
+    ``packet.headers`` (tests do) simply makes the next access rescan.
+    Not a dataclass field, so equality, repr, and serialization of
+    :class:`Packet` are unaffected.
+    """
+
+    __slots__ = ("headers", "header_len", "eth", "ip", "l4",
+                 "inner_ip", "inner_l4", "vxlan", "inner_key", "outer_key")
+
+
 @dataclass
 class Packet:
     """A packet on the wire: a header stack (outermost first) + payload.
@@ -69,6 +89,50 @@ class Packet:
         self.headers = tuple(self.headers)
         if self.payload_len < 0:
             raise ValueError("payload_len must be >= 0")
+        self._cache: Optional[_LayerCache] = None
+
+    # ------------------------------------------------------------------
+    # Layer cache
+    # ------------------------------------------------------------------
+    def _layers(self) -> _LayerCache:
+        cache = self._cache
+        if cache is not None and cache.headers is self.headers:
+            return cache
+        return self._scan()
+
+    def _scan(self) -> _LayerCache:
+        headers = self.headers
+        header_len = 0
+        eth = ip = l4 = inner_ip = inner_l4 = vxlan = None
+        for header in headers:
+            header_len += header.length
+            if isinstance(header, EthernetHeader):
+                if eth is None:
+                    eth = header
+            elif isinstance(header, IPv4Header):
+                if ip is None:
+                    ip = header
+                inner_ip = header
+            elif isinstance(header, (UdpHeader, TcpHeader)):
+                if l4 is None:
+                    l4 = header
+                inner_l4 = header
+            elif isinstance(header, VxlanHeader):
+                if vxlan is None:
+                    vxlan = header
+        cache = _LayerCache()
+        cache.headers = headers
+        cache.header_len = header_len
+        cache.eth = eth
+        cache.ip = ip
+        cache.l4 = l4
+        cache.inner_ip = inner_ip
+        cache.inner_l4 = inner_l4
+        cache.vxlan = vxlan
+        cache.inner_key = _UNSET
+        cache.outer_key = _UNSET
+        self._cache = cache
+        return cache
 
     # ------------------------------------------------------------------
     # Sizes
@@ -76,30 +140,27 @@ class Packet:
     @property
     def header_len(self) -> int:
         """Total bytes of all headers."""
-        return sum(h.length for h in self.headers)
+        return self._layers().header_len
 
     @property
     def wire_len(self) -> int:
         """Total on-wire bytes (headers + payload)."""
-        return self.header_len + self.payload_len
+        return self._layers().header_len + self.payload_len
 
     # ------------------------------------------------------------------
     # Layer accessors (outermost occurrence of each layer)
     # ------------------------------------------------------------------
     @property
     def eth(self) -> Optional[EthernetHeader]:
-        return self._first(EthernetHeader)
+        return self._layers().eth
 
     @property
     def ip(self) -> Optional[IPv4Header]:
-        return self._first(IPv4Header)
+        return self._layers().ip
 
     @property
     def l4(self) -> Optional[Union[UdpHeader, TcpHeader]]:
-        for header in self.headers:
-            if isinstance(header, (UdpHeader, TcpHeader)):
-                return header
-        return None
+        return self._layers().l4
 
     def _first(self, kind: type) -> Any:
         for header in self.headers:
@@ -119,45 +180,57 @@ class Packet:
     # ------------------------------------------------------------------
     @property
     def inner_ip(self) -> Optional[IPv4Header]:
-        return self._last(IPv4Header)
+        return self._layers().inner_ip
 
     @property
     def inner_l4(self) -> Optional[Union[UdpHeader, TcpHeader]]:
-        for header in reversed(self.headers):
-            if isinstance(header, (UdpHeader, TcpHeader)):
-                return header
-        return None
+        return self._layers().inner_l4
 
     def inner_flow_key(self) -> Optional[FlowKey]:
         """5-tuple of the *innermost* IP/L4 layers, or None if not IP."""
-        ip = self.inner_ip
-        l4 = self.inner_l4
-        if ip is None or l4 is None:
-            return None
-        protocol = IPPROTO_UDP if isinstance(l4, UdpHeader) else 6
-        return FlowKey(ip.src, ip.dst, l4.src_port, l4.dst_port, protocol)
+        cache = self._layers()
+        key = cache.inner_key
+        if key is _UNSET:
+            ip = cache.inner_ip
+            l4 = cache.inner_l4
+            if ip is None or l4 is None:
+                key = None
+            else:
+                protocol = IPPROTO_UDP if isinstance(l4, UdpHeader) else 6
+                key = FlowKey(ip.src, ip.dst, l4.src_port, l4.dst_port,
+                              protocol)
+            cache.inner_key = key
+        return key
 
     @property
     def is_vxlan(self) -> bool:
         """True if the outer UDP targets the VXLAN port with a VXLAN header."""
-        l4 = self.l4
+        cache = self._layers()
+        l4 = cache.l4
         return (isinstance(l4, UdpHeader)
                 and l4.dst_port == VXLAN_PORT
-                and self._first(VxlanHeader) is not None)
+                and cache.vxlan is not None)
 
     @property
     def vxlan(self) -> Optional[VxlanHeader]:
         """The VXLAN header, if any."""
-        return self._first(VxlanHeader)
+        return self._layers().vxlan
 
     def flow_key(self) -> Optional[FlowKey]:
         """5-tuple of the *outermost* IP/L4 layers, or None if not IP."""
-        ip = self.ip
-        l4 = self.l4
-        if ip is None or l4 is None:
-            return None
-        protocol = IPPROTO_UDP if isinstance(l4, UdpHeader) else 6
-        return FlowKey(ip.src, ip.dst, l4.src_port, l4.dst_port, protocol)
+        cache = self._layers()
+        key = cache.outer_key
+        if key is _UNSET:
+            ip = cache.ip
+            l4 = cache.l4
+            if ip is None or l4 is None:
+                key = None
+            else:
+                protocol = IPPROTO_UDP if isinstance(l4, UdpHeader) else 6
+                key = FlowKey(ip.src, ip.dst, l4.src_port, l4.dst_port,
+                              protocol)
+            cache.outer_key = key
+        return key
 
     def __repr__(self) -> str:
         layers = "/".join(type(h).__name__.replace("Header", "") for h in self.headers)

@@ -25,7 +25,12 @@ PRIORITY_LOW = 1
 #: Sentinel for an skb whose priority has not been determined yet.
 PRIORITY_UNCLASSIFIED: Optional[int] = None
 
-_skb_ids = itertools.count(1)
+#: Fallback id source for skbs constructed directly (unit tests, ad-hoc
+#: scripts).  Experiment code never draws from this: the NIC allocates
+#: every skb through the kernel's :class:`~repro.fastpath.pool.SkbPool`,
+#: whose counter is per-experiment — so run results no longer depend on
+#: what executed earlier in the same process.
+_fallback_skb_ids = itertools.count(1)
 
 
 class SKBuff:
@@ -53,8 +58,9 @@ class SKBuff:
                  "marks", "alloc_time", "payload_bytes_merged", "gro_list")
 
     def __init__(self, packet: Packet, dev: Any = None,
-                 alloc_time: Optional[int] = None) -> None:
-        self.skb_id: int = next(_skb_ids)
+                 alloc_time: Optional[int] = None,
+                 skb_id: Optional[int] = None) -> None:
+        self.skb_id: int = next(_fallback_skb_ids) if skb_id is None else skb_id
         self.packet = packet
         self.dev = dev
         self.priority_level: Optional[int] = PRIORITY_UNCLASSIFIED

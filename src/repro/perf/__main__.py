@@ -6,12 +6,15 @@ Usage::
     python -m repro.perf --quick          # reduced rounds (CI smoke)
     python -m repro.perf --engine-only
     python -m repro.perf --experiments-only
+    python -m repro.perf --packetpath-only
     python -m repro.perf --label fastlane # tag the recorded run
+    python -m repro.perf --profile prof.pstats  # cProfile the canonical cell
 
-Each invocation appends one labelled run to ``BENCH_engine.json`` and/or
-``BENCH_experiments.json`` (in the current directory unless
-``--out-dir`` is given).  The first run in a file is the baseline;
-subsequent runs record ``speedup_vs_first`` on the headline metric.
+Each invocation appends one labelled run to ``BENCH_engine.json``,
+``BENCH_experiments.json`` and/or ``BENCH_packetpath.json`` (in the
+current directory unless ``--out-dir`` is given).  The first run in a
+file is the baseline; subsequent runs record ``speedup_vs_first`` on the
+headline metric.
 """
 
 from __future__ import annotations
@@ -26,9 +29,15 @@ from typing import Dict, Optional
 
 from repro.perf.engine_bench import run_engine_suite
 from repro.perf.experiment_bench import run_experiment_suite
+from repro.perf.packet_bench import (
+    CANONICAL_PACKET,
+    packet_config,
+    run_packet_suite,
+)
 
 ENGINE_FILE = "BENCH_engine.json"
 EXPERIMENTS_FILE = "BENCH_experiments.json"
+PACKETPATH_FILE = "BENCH_packetpath.json"
 
 
 def _load(path: Path) -> Dict[str, object]:
@@ -70,6 +79,32 @@ def _meta(label: Optional[str], quick: bool) -> Dict[str, object]:
     }
 
 
+def _profile(out_path: Path, *, quick: bool) -> None:
+    """cProfile the canonical packet-path workload into a pstats dump.
+
+    Future hot-path hunts start from data: load the dump with
+    ``pstats.Stats(path).sort_stats("cumulative").print_stats(30)`` or
+    feed it to snakeviz/gprof2dot.
+    """
+    import cProfile
+    import pstats
+
+    from repro.bench.experiment import run_experiment
+
+    config = packet_config(CANONICAL_PACKET, quick=quick)
+    run_experiment(packet_config(CANONICAL_PACKET, quick=True))  # warm up
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_experiment(config)
+    profiler.disable()
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    profiler.dump_stats(str(out_path))
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print(f"profile: {CANONICAL_PACKET} -> {out_path}")
+    stats.print_stats(15)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.perf",
                                      description=__doc__.split("\n")[0])
@@ -77,20 +112,32 @@ def main(argv=None) -> int:
                         help="reduced rounds/durations (CI smoke)")
     parser.add_argument("--engine-only", action="store_true")
     parser.add_argument("--experiments-only", action="store_true")
+    parser.add_argument("--packetpath-only", action="store_true")
     parser.add_argument("--jobs", type=int, default=4,
                         help="parallel worker count for the experiment suite")
     parser.add_argument("--label", default=None,
                         help="label recorded with this run")
     parser.add_argument("--out-dir", default=".",
                         help="directory holding the BENCH_*.json files")
+    parser.add_argument("--profile", metavar="PSTATS", default=None,
+                        help="instead of benchmarking, cProfile the "
+                             "canonical packet-path workload and write a "
+                             "pstats dump to this path")
     args = parser.parse_args(argv)
-    if args.engine_only and args.experiments_only:
-        parser.error("--engine-only and --experiments-only are mutually "
-                     "exclusive (omit both to run everything)")
+    only_flags = [args.engine_only, args.experiments_only,
+                  args.packetpath_only]
+    if sum(only_flags) > 1:
+        parser.error("--engine-only/--experiments-only/--packetpath-only "
+                     "are mutually exclusive (omit all to run everything)")
+
+    if args.profile is not None:
+        _profile(Path(args.profile), quick=args.quick)
+        return 0
 
     out_dir = Path(args.out_dir)
-    run_engine = not args.experiments_only
-    run_experiments = not args.engine_only
+    run_engine = not (args.experiments_only or args.packetpath_only)
+    run_experiments = not (args.engine_only or args.packetpath_only)
+    run_packetpath = not (args.engine_only or args.experiments_only)
     ok = True
 
     if run_engine:
@@ -105,6 +152,20 @@ def main(argv=None) -> int:
         for name, stats in suite["workloads"].items():
             print(f"  {name:20s} {stats['events_per_sec']:>12,.0f} ev/s "
                   f"({stats['seconds'] * 1e3:.1f} ms)")
+
+    if run_packetpath:
+        suite = run_packet_suite(quick=args.quick)
+        run = {**_meta(args.label, args.quick), **suite}
+        run = _append_run(out_dir / PACKETPATH_FILE, run,
+                          "canonical_packets_per_sec")
+        pps = suite["canonical_packets_per_sec"]
+        speedup = run.get("speedup_vs_first")
+        extra = f"  ({speedup:.2f}x vs baseline)" if speedup else ""
+        print(f"packet-path: {suite['canonical']} = "
+              f"{pps:,.0f} packets/sec{extra}")
+        for name, stats in suite["workloads"].items():
+            print(f"  {name:28s} {stats['packets_per_sec']:>12,.0f} pkt/s "
+                  f"({stats['seconds'] * 1e3:.0f} ms)")
 
     if run_experiments:
         suite = run_experiment_suite(quick=args.quick, jobs=args.jobs)

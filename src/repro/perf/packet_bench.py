@@ -1,0 +1,123 @@
+"""Packet-path benchmark suite — simulated packets/sec of whole experiments.
+
+Where :mod:`repro.perf.engine_bench` measures the bare event engine, this
+suite measures the *per-packet* hot loop: each workload is one canonical
+experiment cell (a Fig. 11 load-sweep point) run in-process with the disk
+cache off, and the metric is **delivered packets per wall-clock second**
+— how many simulated packets the receive path pushed through per real
+second.  That is the number the ROADMAP's "heavy traffic at scale" goal
+lives or dies by: skb allocation, per-stage cost lookups, classification,
+and sample recording all sit on this path.
+
+The packet count is derived from the :class:`ExperimentResult` itself
+(delivered foreground + background packets in the measurement window plus
+foreground sends), so it is a pure function of the config — identical
+across repeats and across hot-path refactors that preserve the
+determinism contract.  Each workload also records the result digest so a
+run that got faster by *changing the answer* is immediately visible.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.runner import result_digest
+from repro.prism.mode import StackMode
+from repro.sim.units import MS
+
+__all__ = [
+    "PACKET_WORKLOADS",
+    "CANONICAL_PACKET",
+    "packet_config",
+    "run_packet_workload",
+    "run_packet_suite",
+]
+
+#: Background load of the canonical Fig. 11 cell (pps).
+_CANONICAL_BG = 300_000.0
+
+#: name -> (mode, network, bg_rate_pps)
+PACKET_WORKLOADS: Dict[str, Tuple[StackMode, str, float]] = {
+    "overlay_vanilla_bg300k": (StackMode.VANILLA, "overlay", _CANONICAL_BG),
+    "overlay_prism_sync_bg300k": (StackMode.PRISM_SYNC, "overlay",
+                                  _CANONICAL_BG),
+    "overlay_prism_batch_bg300k": (StackMode.PRISM_BATCH, "overlay",
+                                   _CANONICAL_BG),
+    "host_vanilla_bg300k": (StackMode.VANILLA, "host", _CANONICAL_BG),
+}
+
+#: The workload whose packets/sec is the headline (acceptance) number:
+#: the busy-overlay vanilla cell every figure sweep runs most often.
+CANONICAL_PACKET = "overlay_vanilla_bg300k"
+
+
+def packet_config(name: str, *, quick: bool = False) -> ExperimentConfig:
+    """The frozen experiment config behind one packet-path workload."""
+    mode, network, bg = PACKET_WORKLOADS[name]
+    if quick:
+        duration, warmup = 25 * MS, 5 * MS
+    else:
+        duration, warmup = 150 * MS, 30 * MS
+    return ExperimentConfig(mode=mode, network=network, fg_rate_pps=1_000,
+                            bg_rate_pps=bg, duration_ns=duration,
+                            warmup_ns=warmup)
+
+
+def _count_packets(result) -> int:
+    """Simulated packets attributable to this run (a pure config function).
+
+    Delivered foreground + background packets inside the measurement
+    window (``*_delivered_pps`` are ``count * 1e9 / window``, so this
+    inverts exactly) plus every foreground send — sends exercise the
+    egress/encap path even when the packet is later dropped.
+    """
+    window = result.config.duration_ns
+    delivered = round(
+        (result.fg_delivered_pps + result.bg_delivered_pps) * window / 1e9)
+    return delivered + result.fg_sent
+
+
+def run_packet_workload(name: str, *, quick: bool = False,
+                        repeats: int = 2) -> Dict[str, object]:
+    """Run one workload *repeats* times (plus a warm-up) — best run wins.
+
+    Single process, no disk cache: this measures the simulation itself,
+    not the runner around it.
+    """
+    config = packet_config(name, quick=quick)
+    warm = packet_config(name, quick=True)
+    warm_result = run_experiment(warm)  # warm allocators and code paths
+    del warm_result
+    best_seconds = float("inf")
+    packets = 0
+    digest = ""
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = run_experiment(config)
+        seconds = time.perf_counter() - started
+        best_seconds = min(best_seconds, seconds)
+        packets = _count_packets(result)
+        digest = result_digest(result)
+    return {
+        "packets": float(packets),
+        "seconds": best_seconds,
+        "packets_per_sec": packets / best_seconds,
+        "digest": digest,
+    }
+
+
+def run_packet_suite(*, quick: bool = False,
+                     repeats: int = 2) -> Dict[str, object]:
+    """Run every packet-path workload; the canonical one is the headline."""
+    workloads: Dict[str, Dict[str, object]] = {}
+    for name in PACKET_WORKLOADS:
+        workloads[name] = run_packet_workload(name, quick=quick,
+                                              repeats=repeats)
+    return {
+        "canonical": CANONICAL_PACKET,
+        "canonical_packets_per_sec":
+            workloads[CANONICAL_PACKET]["packets_per_sec"],
+        "workloads": workloads,
+    }

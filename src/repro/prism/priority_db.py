@@ -65,6 +65,10 @@ class PriorityDatabase:
         self._index: Dict[Tuple[Optional[int], Optional[int]], int] = {}
         self._rules: List[PriorityRule] = []
         self.lookups = 0
+        #: Bumped on every rule change; per-flow classification caches
+        #: (see :class:`~repro.prism.classifier.PriorityClassifier`)
+        #: compare it to invalidate themselves.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Configuration
@@ -73,6 +77,7 @@ class PriorityDatabase:
         """Install a rule (later rules win on exact key collision)."""
         self._rules.append(rule)
         self._index[self._key(rule.ip, rule.port)] = rule.level
+        self.version += 1
 
     def add_endpoint(self, ip: Optional[object] = None,
                      port: Optional[int] = None,
@@ -89,11 +94,13 @@ class PriorityDatabase:
             return False
         self._rules.remove(rule)
         self._rebuild()
+        self.version += 1
         return True
 
     def clear(self) -> None:
         self._rules.clear()
         self._index.clear()
+        self.version += 1
 
     def _rebuild(self) -> None:
         self._index.clear()

@@ -48,7 +48,9 @@ def transition_to_napi(kernel: "Kernel", skb: SKBuff, napi: "NapiStruct"
 
     high = mode.is_prism and kernel.is_high_class(skb)
     if not napi.enqueue(skb, high=high):
-        return  # overflow drop (accounted by the queue / kernel)
+        # Overflow drop (accounted by the queue / kernel).
+        kernel.skb_pool.recycle(skb)
+        return
 
     softnet = napi.softnet
     if softnet is None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional, TYPE_CHECKING
 
+from repro.fastpath.headercache import CachedUdpBuilder
 from repro.kernel.cpu import Work
 from repro.packet.addr import Ipv4Address, MacAddress
 from repro.packet.headers import (
@@ -107,15 +108,18 @@ class EgressPath:
         self.kernel = kernel
         self.transmit = transmit
         self.qdisc = qdisc
+        self._builder = CachedUdpBuilder()
         self.packets_sent = 0
         self.bytes_sent = 0
 
     def udp_send(self, *, encap: Optional[EncapInfo] = None,
                  **packet_kwargs: Any) -> Generator[Any, Any, Packet]:
-        """Build, charge, and transmit one UDP datagram."""
-        packet = build_udp_packet(**packet_kwargs)
-        if encap is not None:
-            packet = apply_encap(packet, encap)
+        """Build, charge, and transmit one UDP datagram.
+
+        Header stacks are memoized per flow (:mod:`repro.fastpath`) —
+        the produced packet is field-identical to an uncached build.
+        """
+        packet = self._builder.build(encap=encap, **packet_kwargs)
         yield Work(self.kernel.costs.egress_cost(packet.wire_len))
         self._send(packet)
         return packet

@@ -64,3 +64,4 @@ def _drop(kernel: "Kernel", netns: "NetNamespace", skb: SKBuff,
     kernel.count_drop(name)
     if kernel.tracer.has_subscribers(TracePoint.DROP):
         kernel.tracer.emit(TracePoint.DROP, queue=name, skb=skb)
+    kernel.skb_pool.recycle(skb)

@@ -55,17 +55,18 @@ class UdpSocket:
     # ------------------------------------------------------------------
     def deliver(self, skb: SKBuff, from_cpu: "CpuCore") -> bool:
         """Enqueue *skb* and wake a blocked receiver.  False on drop."""
+        tracer = self.kernel.tracer
         if not self.rcvbuf.enqueue(skb):
             self.kernel.count_drop(self.rcvbuf.name)
-            self.kernel.tracer.emit(TracePoint.DROP, queue=self.rcvbuf.name,
-                                    skb=skb)
+            tracer.emit(TracePoint.DROP, queue=self.rcvbuf.name, skb=skb)
+            self.kernel.skb_pool.recycle(skb)  # rcvbuf overflow drop
             return False
         self.delivered += 1
         self.delivered_bytes += skb.wire_len
         skb.mark("socket_enqueue", self.kernel.sim.now)
-        if self.kernel.tracer.has_subscribers(TracePoint.SOCKET_ENQUEUE):
-            self.kernel.tracer.emit(TracePoint.SOCKET_ENQUEUE,
-                                    socket=self.rcvbuf.name, skb=skb)
+        if tracer.active and tracer.has_subscribers(TracePoint.SOCKET_ENQUEUE):
+            tracer.emit(TracePoint.SOCKET_ENQUEUE,
+                        socket=self.rcvbuf.name, skb=skb)
         self._wake_waiter(from_cpu)
         return True
 

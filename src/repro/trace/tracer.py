@@ -49,10 +49,16 @@ class Tracer:
 
     def __init__(self) -> None:
         self._subscribers: Dict[str, List[Callable[..., None]]] = {}
+        #: True iff *any* tracepoint has a subscriber.  Hot loops read
+        #: this single attribute to pick the untraced fast path instead
+        #: of doing one ``has_subscribers`` dict lookup per point per
+        #: packet; it is maintained by attach/detach only.
+        self.active: bool = False
 
     def attach(self, point: str, callback: Callable[..., None]) -> Callable[..., None]:
         """Subscribe *callback* to *point*; returns it for later detach."""
         self._subscribers.setdefault(point, []).append(callback)
+        self.active = True
         return callback
 
     def detach(self, point: str, callback: Callable[..., None]) -> bool:
@@ -63,6 +69,7 @@ class Tracer:
         callbacks.remove(callback)
         if not callbacks:
             del self._subscribers[point]
+        self.active = bool(self._subscribers)
         return True
 
     def emit(self, point: str, **fields: Any) -> None:

@@ -1,0 +1,117 @@
+"""Golden digest tests for the packet-path fast lane.
+
+The fast-path machinery (skb pooling, memoized costs, cached header
+building, untraced fast lanes) is a pure optimization: it must never
+change a single byte of an :class:`ExperimentResult`.  These tests pin
+that contract three ways:
+
+1. **Pinned goldens** — the digest of a canonical Fig. 11 load-sweep
+   cell for each stack mode and network type is hard-coded.  Any change
+   to simulation semantics (intended or not) trips these.  The digests
+   are independent of ``PYTHONHASHSEED`` (verified across randomized
+   and fixed-seed processes) because results are aggregates, not raw
+   object dumps.
+2. **Pool-off equivalence** — re-running with the skb free-list pool
+   disabled (fresh ``SKBuff`` per packet, like the seed code) must give
+   the identical digest, proving recycling reuses objects without
+   leaking state between packets.
+3. **Run-to-run isolation** — two back-to-back runs in one process are
+   digest-identical, pinning the fix for the cross-experiment skb-id
+   leak (ids are now allocated per-kernel by the pool, not from a
+   process-global counter).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiment import (
+    ExperimentConfig,
+    _run_experiment,
+    run_experiment,
+    run_traced_experiment,
+)
+from repro.bench.runner import result_digest
+from repro.prism.mode import StackMode
+from repro.sim.units import MS
+
+
+def _config(mode: StackMode, network: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        mode=mode, network=network, fg_rate_pps=2_000,
+        bg_rate_pps=120_000.0, duration_ns=12 * MS, warmup_ns=3 * MS)
+
+
+#: scenario -> (untraced digest, traced digest).  Traced results differ
+#: only by the appended ``stage_breakdown`` — the measurements match.
+GOLD = {
+    "overlay-vanilla": (
+        _config(StackMode.VANILLA, "overlay"),
+        "a9a9e76532fb680d371fb0959f1bf893c9cf6ebc1279203ada0178ea29d2456f",
+        "78eabe5891a9010c2108e0a3047f58d5cba050bcaab5a10035ba9f43a52b44da",
+    ),
+    "overlay-prism-batch": (
+        _config(StackMode.PRISM_BATCH, "overlay"),
+        "4fbe1b50bc0e764db9008229175bbf05b3c44f26d724d4d36c13df63f4581580",
+        "fda509dd71d4d14071560c80ae6f648041babb320afe09c7ae827136d32c507c",
+    ),
+    "overlay-prism-sync": (
+        _config(StackMode.PRISM_SYNC, "overlay"),
+        "e16aa0a11d40aedb259b9a6f842d2e0e7b8814819aa7e295c7e2f0ee18c847d7",
+        "d533f6c1b46112e999f02f820bddab42b1d5cf50c398c008439e7b890f02b414",
+    ),
+    "host-vanilla": (
+        _config(StackMode.VANILLA, "host"),
+        "c20aaf77035c6ac3d723474655d5b345d3c9296500ec612b8441d650ebaf3252",
+        "fd1ab73ca2f25adca45ff58673d1962b80ab39b79b242c0393d68570a152e336",
+    ),
+}
+
+SCENARIOS = sorted(GOLD)
+
+
+def _disable_pool(testbed) -> None:
+    testbed.server.kernel.skb_pool.enabled = False
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_untraced_digest_matches_golden(scenario):
+    config, untraced, _ = GOLD[scenario]
+    assert result_digest(run_experiment(config)) == untraced
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_traced_digest_matches_golden(scenario):
+    config, _, traced = GOLD[scenario]
+    assert result_digest(run_traced_experiment(config).result) == traced
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_pool_disabled_run_is_identical(scenario):
+    """Recycled skbs carry zero observable state: pool off == pool on."""
+    config, untraced, _ = GOLD[scenario]
+    result = _run_experiment(config, attach=_disable_pool)
+    assert result_digest(result) == untraced
+
+
+def test_traced_measurements_match_untraced():
+    """Tracing only observes: measurements identical, breakdown added."""
+    config, untraced, _ = GOLD["overlay-vanilla"]
+    traced = run_traced_experiment(config).result
+    traced.stage_breakdown = None
+    assert result_digest(traced) == untraced
+
+
+def test_back_to_back_runs_are_identical():
+    """Regression: per-experiment skb ids — no cross-run counter leak."""
+    config, untraced, _ = GOLD["overlay-vanilla"]
+    first = result_digest(run_experiment(config))
+    second = result_digest(run_experiment(config))
+    assert first == second == untraced
+
+
+def test_run_after_traced_run_is_identical():
+    """A traced run leaves no state behind that skews the next run."""
+    config, untraced, _ = GOLD["overlay-prism-batch"]
+    run_traced_experiment(config)
+    assert result_digest(run_experiment(config)) == untraced

@@ -1,0 +1,102 @@
+"""Unit tests for the skb free-list pool and cached header builder."""
+
+from __future__ import annotations
+
+from repro.fastpath.headercache import CachedUdpBuilder
+from repro.fastpath.pool import SkbPool
+from repro.packet.addr import Ipv4Address, MacAddress
+from repro.packet.headers import UdpHeader
+from repro.packet.packet import Packet
+from repro.packet.skb import PRIORITY_UNCLASSIFIED, SKBuff
+
+
+def _packet(payload_len: int = 100) -> Packet:
+    return Packet(headers=(), payload_len=payload_len)
+
+
+class TestSkbPool:
+    def test_ids_are_fresh_and_sequential(self):
+        pool = SkbPool()
+        ids = [pool.alloc(_packet()).skb_id for _ in range(3)]
+        assert ids == [1, 2, 3]
+
+    def test_recycled_object_is_reused_with_a_fresh_id(self):
+        pool = SkbPool()
+        skb = pool.alloc(_packet())
+        first_id = skb.skb_id
+        skb.mark("rx_ring", 123)
+        skb.classify(0)
+        pool.recycle(skb)
+
+        again = pool.alloc(_packet(), alloc_time=99)
+        assert again is skb  # object reused...
+        assert again.skb_id == first_id + 1  # ...but never the id
+        assert again.marks == {}
+        assert again.priority_level is PRIORITY_UNCLASSIFIED
+        assert again.alloc_time == 99
+
+    def test_recycle_is_idempotent(self):
+        pool = SkbPool()
+        skb = pool.alloc(_packet())
+        pool.recycle(skb)
+        pool.recycle(skb)  # double-free must not double-list
+        assert len(pool) == 1
+
+    def test_disabled_pool_never_recycles(self):
+        pool = SkbPool(enabled=False)
+        skb = pool.alloc(_packet())
+        pool.recycle(skb)
+        assert len(pool) == 0
+        assert pool.alloc(_packet()) is not skb
+
+    def test_two_pools_are_independent(self):
+        """Per-experiment id allocators: no cross-pool leakage."""
+        a, b = SkbPool(), SkbPool()
+        a.alloc(_packet())
+        a.alloc(_packet())
+        assert b.alloc(_packet()).skb_id == 1
+
+    def test_counters(self):
+        pool = SkbPool()
+        skb = pool.alloc(_packet())
+        pool.recycle(skb)
+        pool.alloc(_packet())
+        assert pool.allocated == 2
+        assert pool.recycled == 1
+        assert pool.reused == 1
+
+
+class TestCachedUdpBuilder:
+    KWARGS = dict(
+        src_mac=MacAddress("02:00:00:00:00:01"),
+        dst_mac=MacAddress("02:00:00:00:00:02"),
+        src_ip=Ipv4Address("10.0.0.1"),
+        dst_ip=Ipv4Address("10.0.0.2"),
+        src_port=30001,
+        dst_port=8080,
+    )
+
+    def test_cached_build_shares_headers(self):
+        builder = CachedUdpBuilder()
+        first = builder.build(payload=None, payload_len=64, **self.KWARGS)
+        second = builder.build(payload=None, payload_len=64, **self.KWARGS)
+        assert second.headers is first.headers
+        assert second.packet_id != first.packet_id
+
+    def test_payload_len_is_part_of_the_key(self):
+        builder = CachedUdpBuilder()
+        small = builder.build(payload=None, payload_len=64, **self.KWARGS)
+        large = builder.build(payload=None, payload_len=1400, **self.KWARGS)
+        assert small.headers is not large.headers
+        assert large.wire_len - small.wire_len == 1400 - 64
+
+    def test_matches_uncached_builder(self):
+        from repro.stack.egress import build_udp_packet
+
+        cached = CachedUdpBuilder().build(
+            payload="x", payload_len=200, created_at=5, **self.KWARGS)
+        plain = build_udp_packet(
+            payload="x", payload_len=200, created_at=5, **self.KWARGS)
+        assert cached.headers == plain.headers
+        assert cached.wire_len == plain.wire_len
+        assert isinstance(cached.l4, UdpHeader)

@@ -189,7 +189,7 @@ class TestRecorders:
         recorder.record(5, at_ns=50)
         recorder.record(7, at_ns=150)
         recorder.record(9)  # no timestamp: always kept
-        assert recorder.samples_ns == [7, 9]
+        assert list(recorder.samples_ns) == [7, 9]
         assert recorder.discarded == 1
 
     def test_latency_recorder_summary_and_cdf(self):

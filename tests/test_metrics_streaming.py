@@ -1,0 +1,175 @@
+"""Tests for the O(1)-memory streaming latency estimators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.metrics.recorder import LatencyRecorder, ThroughputMeter
+from repro.metrics.stats import percentile
+from repro.metrics.streaming import (
+    P2Quantile,
+    ReservoirSample,
+    StreamingQuantiles,
+)
+
+
+def _synthetic_latencies(n: int, seed: int = 7) -> list:
+    """Deterministic heavy-tailed latency stream (lognormal, ~60us median).
+
+    Continuous on purpose: P² interpolates marker heights, so a density
+    gap sitting exactly on a tracked quantile is its worst case — real
+    latency distributions are continuous where it matters.
+    """
+    rng = random.Random(seed)
+    return [rng.lognormvariate(11.0, 0.6) for _ in range(n)]
+
+
+class TestP2Quantile:
+    def test_exact_until_five_samples(self):
+        p50 = P2Quantile(0.5)
+        for x in (30, 10, 20):
+            p50.add(x)
+        assert p50.value == 20
+
+    def test_rejects_degenerate_quantiles(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty_estimator_raises(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).value
+
+    @pytest.mark.parametrize("q,tolerance", [(0.5, 0.05), (0.9, 0.05),
+                                             (0.99, 0.15)])
+    def test_tracks_exact_percentile_within_tolerance(self, q, tolerance):
+        samples = _synthetic_latencies(50_000)
+        estimator = P2Quantile(q)
+        for x in samples:
+            estimator.add(x)
+        exact = percentile(samples, q * 100)
+        assert abs(estimator.value - exact) <= tolerance * exact
+
+    def test_constant_memory(self):
+        """The marker state never grows, no matter the stream length."""
+        estimator = P2Quantile(0.99)
+        for x in _synthetic_latencies(20_000):
+            estimator.add(x)
+        assert len(estimator._heights) == 5
+        assert len(estimator._positions) == 5
+        assert estimator.count == 20_000
+
+
+class TestStreamingQuantiles:
+    def test_exact_moments(self):
+        stream = StreamingQuantiles()
+        for x in (100, 300, 200):
+            stream.add(x)
+        summary = stream.summary()
+        assert summary.count == 3
+        assert summary.min_ns == 100
+        assert summary.max_ns == 300
+        assert summary.avg_ns == 200
+
+    def test_empty_summary_is_none(self):
+        assert StreamingQuantiles().summary() is None
+
+    def test_summary_close_to_exact_battery(self):
+        samples = _synthetic_latencies(50_000)
+        stream = StreamingQuantiles()
+        for x in samples:
+            stream.add(x)
+        summary = stream.summary()
+        assert summary.p50_ns == pytest.approx(percentile(samples, 50),
+                                               rel=0.05)
+        assert summary.p90_ns == pytest.approx(percentile(samples, 90),
+                                               rel=0.05)
+        assert summary.p99_ns == pytest.approx(percentile(samples, 99),
+                                               rel=0.15)
+
+
+class TestReservoirSample:
+    def test_keeps_everything_below_capacity(self):
+        reservoir = ReservoirSample(10, seed=1)
+        for x in range(5):
+            reservoir.add(x)
+        assert sorted(reservoir.samples) == [0, 1, 2, 3, 4]
+
+    def test_bounded_at_capacity(self):
+        reservoir = ReservoirSample(64, seed=1)
+        for x in range(10_000):
+            reservoir.add(x)
+        assert len(reservoir) == 64
+        assert reservoir.count == 10_000
+
+    def test_deterministic_for_fixed_seed(self):
+        def run(seed):
+            reservoir = ReservoirSample(32, seed=seed)
+            for x in range(2_000):
+                reservoir.add(x)
+            return reservoir.samples
+
+        assert run(42) == run(42)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(0)
+
+
+class TestStreamingRecorder:
+    def test_streaming_mode_stores_no_samples(self):
+        recorder = LatencyRecorder(streaming=True, reservoir_k=128)
+        for x in _synthetic_latencies(20_000):
+            recorder.record(int(x))
+        assert len(recorder.samples_ns) == 0
+        assert len(recorder) == 20_000
+        assert recorder.cdf().count == 128
+
+    def test_streaming_summary_close_to_exact(self):
+        exact = LatencyRecorder()
+        streaming = LatencyRecorder(streaming=True)
+        for x in _synthetic_latencies(50_000):
+            exact.record(int(x))
+            streaming.record(int(x))
+        a, b = exact.summary(), streaming.summary()
+        assert b.count == a.count
+        assert b.min_ns == a.min_ns
+        assert b.max_ns == a.max_ns
+        assert b.avg_ns == pytest.approx(a.avg_ns, rel=1e-9)
+        assert b.p50_ns == pytest.approx(a.p50_ns, rel=0.05)
+        assert b.p99_ns == pytest.approx(a.p99_ns, rel=0.15)
+
+    def test_streaming_mode_respects_warmup(self):
+        recorder = LatencyRecorder(warmup_until_ns=100, streaming=True)
+        recorder.record(5, at_ns=50)
+        recorder.record(7, at_ns=150)
+        assert recorder.discarded == 1
+        assert recorder.summary().count == 1
+
+    def test_exact_mode_uses_compact_storage(self):
+        recorder = LatencyRecorder()
+        recorder.record(7)
+        recorder.record(9)
+        assert list(recorder.samples_ns) == [7, 9]
+        assert recorder.summary().avg_ns == 8
+
+
+class TestThroughputMeterDiscarded:
+    def test_warmup_events_are_counted_as_discarded(self):
+        meter = ThroughputMeter(warmup_until_ns=1_000)
+        meter.record(500, nbytes=100)
+        meter.record(1_500, nbytes=200)
+        assert meter.count == 1
+        assert meter.bytes == 200
+        assert meter.discarded == 1
+
+    def test_summary_exposes_discarded(self):
+        meter = ThroughputMeter(warmup_until_ns=10)
+        meter.record(5)
+        meter.record(20)
+        summary = meter.summary()
+        assert summary == {"count": 1, "bytes": 0, "discarded": 1,
+                           "first_at": 20, "last_at": 20}
