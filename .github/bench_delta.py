@@ -26,23 +26,39 @@ METRIC_KEYS = ("events_per_sec", "packets_per_sec")
 
 
 def latest_run(path):
-    with open(path, encoding="utf-8") as fh:
-        doc = json.load(fh)
+    """The most recent run in *path*, or None (with a warning) when the
+    file is absent, unreadable, or empty.
+
+    A missing/empty baseline is normal on a fresh branch or when the
+    seed repo never ran the bench — the comparison is skipped, never
+    a traceback."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        print(f"warning: {path}: not found — comparison skipped")
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"warning: {path}: not valid JSON ({exc}) — "
+              "comparison skipped")
+        return None
     runs = doc.get("runs") or []
     if not runs:
-        raise SystemExit(f"{path}: no runs recorded")
+        print(f"warning: {path}: no runs recorded — comparison skipped")
+        return None
     return runs[-1]
 
 
 def detect_metric(*runs):
-    """The per-workload throughput key used by these runs."""
+    """The per-workload throughput key used by these runs (or None)."""
     for run in runs:
         for stats in run.get("workloads", {}).values():
             for key in METRIC_KEYS:
                 if key in stats:
                     return key
-    raise SystemExit("no known throughput metric in either file "
-                     f"(looked for {', '.join(METRIC_KEYS)})")
+    print("warning: no known throughput metric in either file "
+          f"(looked for {', '.join(METRIC_KEYS)}) — comparison skipped")
+    return None
 
 
 def print_table(baseline, current, metric):
@@ -109,7 +125,11 @@ def main(argv=None):
 
     baseline = latest_run(args.baseline)
     current = latest_run(args.current)
+    if baseline is None or current is None:
+        return 0
     metric = detect_metric(baseline, current)
+    if metric is None:
+        return 0
     print_table(baseline, current, metric)
     if args.gate is not None:
         return check_gate(baseline, current, metric, args.gate)

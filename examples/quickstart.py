@@ -18,7 +18,7 @@ from repro.scenario import Scenario
 from repro.sim.units import MS
 
 
-def main() -> None:
+def main(trace_out: str | None = None) -> None:
     base = (Scenario(network="overlay", seed=7)
             .foreground("pingpong", rate_pps=1_000)
             .background(rate_pps=300_000)
@@ -36,11 +36,11 @@ def main() -> None:
     traced = base.run_traced()
     print("\nPer-stage breakdown of the vanilla run (Fig. 4):\n")
     print(traced.breakdown.render())
-    if len(sys.argv) > 1:
-        path = traced.write_chrome(sys.argv[1])
+    if trace_out is not None:
+        path = traced.write_chrome(trace_out)
         print(f"\nChrome trace written to {path} — load it at "
               "https://ui.perfetto.dev")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

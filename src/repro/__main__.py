@@ -12,6 +12,11 @@ Usage::
     python -m repro --trace out.json  # traced canonical run: Fig. 4
                                       # breakdown + Perfetto-loadable JSON
     python -m repro --trace out.json --mode prism-sync --bg 300000
+    python -m repro --metrics out.prom            # metered canonical run:
+                                                  # OpenMetrics exposition
+    python -m repro --metrics out.prom --folded out.folded \
+                    --speedscope out.speedscope.json   # + flamegraph inputs
+    python -m repro --metrics-diff base.json head.json --diff-threshold 5
 """
 
 from __future__ import annotations
@@ -61,6 +66,32 @@ def _traced_run(path: str, mode: str, bg_rate_pps: float) -> None:
     print("Load it at https://ui.perfetto.dev or chrome://tracing.")
 
 
+def _instrumented_run(args) -> None:
+    """Run the canonical scenario metered+profiled; write requested files."""
+    scenario = _canonical_scenario(args.mode, args.bg)
+    instrumented = scenario.run_instrumented()
+    print(instrumented.result)
+    if args.metrics:
+        out = instrumented.write_openmetrics(args.metrics)
+        print(f"OpenMetrics exposition written to {out}")
+    if args.metrics_json:
+        out = instrumented.write_metrics_json(args.metrics_json)
+        print(f"metrics snapshot (JSON) written to {out}")
+    if args.folded:
+        out = instrumented.write_folded(args.folded)
+        print(f"collapsed stacks written to {out} "
+              f"(render with flamegraph.pl or speedscope)")
+    if args.speedscope:
+        out = instrumented.write_speedscope(args.speedscope)
+        print(f"speedscope profile written to {out} "
+              f"(load at https://www.speedscope.app)")
+    profiler = instrumented.profiler
+    total_ms = profiler.total_ns() / 1e6
+    print(f"profiler: {len(profiler.tracks())} tracks, "
+          f"{profiler.samples_taken} samples, "
+          f"{total_ms:.1f} ms simulated CPU attributed")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -83,15 +114,50 @@ def main(argv=None) -> int:
                         "observability layer attached, print the per-stage "
                         "latency breakdown (paper Fig. 4), and write a "
                         "Chrome/Perfetto trace to OUT.json")
+    parser.add_argument("--metrics", metavar="OUT.prom", default=None,
+                        help="run the canonical scenario with the telemetry "
+                        "layer attached and write the OpenMetrics text "
+                        "exposition to OUT.prom")
+    parser.add_argument("--metrics-json", metavar="OUT.json", default=None,
+                        help="also write the versioned JSON metrics "
+                        "snapshot (diffable with --metrics-diff)")
+    parser.add_argument("--folded", metavar="OUT.folded", default=None,
+                        help="write the profiler's collapsed stacks "
+                        "(flamegraph.pl folded format)")
+    parser.add_argument("--speedscope", metavar="OUT.json", default=None,
+                        help="write a self-contained speedscope profile")
+    parser.add_argument("--metrics-diff", nargs=2,
+                        metavar=("BASELINE", "CURRENT"), default=None,
+                        help="diff two metrics/result/bench JSON files; "
+                        "exit 1 when a relative delta exceeds the "
+                        "threshold")
+    parser.add_argument("--diff-threshold", type=float, default=10.0,
+                        metavar="PCT", help="relative-delta threshold for "
+                        "--metrics-diff (default: 10%%)")
+    parser.add_argument("--diff-match", default="", metavar="SUBSTR",
+                        help="only diff series whose name contains SUBSTR")
     parser.add_argument("--mode", default="vanilla",
-                        help="stack mode for --trace/--seeds runs "
+                        help="stack mode for --trace/--seeds/--metrics runs "
                         "(vanilla, prism-batch, prism-sync)")
     parser.add_argument("--bg", type=float, default=300_000, metavar="PPS",
-                        help="background flood rate for --trace/--seeds "
-                        "runs (default: 300000 pps)")
+                        help="background flood rate for --trace/--seeds/"
+                        "--metrics runs (default: 300000 pps)")
     args = parser.parse_args(argv)
 
     configure(jobs=args.jobs, cache=args.cache)
+
+    if args.metrics_diff:
+        from repro.telemetry.diff import main as diff_main
+        diff_argv = [args.metrics_diff[0], args.metrics_diff[1],
+                     "--threshold", str(args.diff_threshold)]
+        if args.diff_match:
+            diff_argv += ["--match", args.diff_match]
+        return diff_main(diff_argv)
+
+    if args.metrics or args.metrics_json or args.folded or args.speedscope:
+        _instrumented_run(args)
+        if not (args.figure or args.seeds or args.trace):
+            return 0
 
     if args.trace:
         _traced_run(args.trace, args.mode, args.bg)

@@ -64,6 +64,12 @@ class SockperfUdpServer:
         self.app_work_ns = app_work_ns
         self.socket = container.udp_socket(port, core_id=core_id)
         self.received = ThroughputMeter(f"sockperf-server:{port}")
+        telemetry = self.socket.kernel.telemetry
+        if telemetry is not None:
+            # Metered run: export this meter through the shared registry
+            # and let the collector scrape the socket's rcvbuf counters.
+            telemetry.register_meter(self.received)
+            telemetry.watch_queue(self.socket.rcvbuf)
         self.thread = container.spawn(self._run(), core_id=core_id,
                                       name=f"sockperf-srv:{port}")
 

@@ -38,6 +38,12 @@ from repro.obs import (
 from repro.obs.recorder import FlightRecorder
 from repro.prism.mode import StackMode
 from repro.sim.units import MS, SEC
+from repro.telemetry import (
+    DEFAULT_SAMPLE_INTERVAL_NS,
+    KernelTelemetry,
+    SimProfiler,
+)
+from repro.telemetry.openmetrics import write_openmetrics
 from repro.trace.tracer import Tracer
 
 __all__ = [
@@ -45,8 +51,11 @@ __all__ = [
     "ExperimentResult",
     "TraceOptions",
     "TracedExperiment",
+    "TelemetryOptions",
+    "InstrumentedExperiment",
     "run_experiment",
     "run_traced_experiment",
+    "run_instrumented_experiment",
 ]
 
 FG_PORT = 11111
@@ -169,6 +178,9 @@ class ExperimentResult:
     #: Fig. 4-style per-stage decomposition (dict form of
     #: :class:`repro.obs.StageBreakdown`); populated by traced runs only.
     stage_breakdown: Optional[Dict[str, Any]] = None
+    #: Versioned metrics snapshot (:meth:`MetricsRegistry.snapshot`);
+    #: populated by instrumented runs only.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def __str__(self) -> str:
         latency = str(self.fg_latency) if self.fg_latency else "no samples"
@@ -204,6 +216,7 @@ class ExperimentResult:
             "softirq_fraction": self.softirq_fraction,
             "drops": dict(self.drops),
             "stage_breakdown": self.stage_breakdown,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -225,6 +238,7 @@ class ExperimentResult:
             softirq_fraction=data["softirq_fraction"],
             drops=dict(data["drops"]),
             stage_breakdown=data.get("stage_breakdown"),
+            telemetry=data.get("telemetry"),
         )
 
 
@@ -409,6 +423,11 @@ def _run_experiment(config: ExperimentConfig, *,
 
     packet_core = testbed.server.kernel.cpu(0)
     sampler = CpuUtilizationSampler(packet_core, lambda: sim.now)
+    telemetry = testbed.server.kernel.telemetry
+    if telemetry is not None:
+        # Metered run: export the harness's own accounting through the
+        # shared registry (no duplicated bookkeeping — callback gauges).
+        telemetry.bind_run(sampler=sampler, meters=(fg_meter, bg_meter))
 
     sim.run(until=config.warmup_ns)
     sampler.mark()
@@ -502,3 +521,106 @@ def run_traced_experiment(config: ExperimentConfig,
     result.stage_breakdown = breakdown.to_dict()
     return TracedExperiment(result=result, recorder=observer.recorder,
                             breakdown=breakdown, observer=observer)
+
+
+# ----------------------------------------------------------------------
+# Instrumented (metered / profiled) runs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TelemetryOptions:
+    """Knobs for an instrumented experiment run."""
+
+    #: Also attach the simulated-time sampling profiler (subscribes to
+    #: the span tracepoints, so the kernel takes its traced fast lanes —
+    #: measurements are pinned identical either way).
+    profile: bool = True
+    #: Simulated-time period between profiler stack samples
+    #: (0 keeps exact edge attribution but takes no periodic samples).
+    sample_interval_ns: int = DEFAULT_SAMPLE_INTERVAL_NS
+    #: Retained-sample bound (see :class:`SimProfiler`).
+    max_samples: int = 1_000_000
+
+
+@dataclass
+class InstrumentedExperiment:
+    """A result plus the telemetry that explains it."""
+
+    result: ExperimentResult
+    telemetry: KernelTelemetry
+    profiler: Optional[SimProfiler]
+
+    @property
+    def registry(self):
+        return self.telemetry.registry
+
+    def write_openmetrics(self, path: Union[str, Path]) -> Path:
+        """Export the registry as OpenMetrics text exposition."""
+        return write_openmetrics(path, self.telemetry.collect())
+
+    def write_metrics_json(self, path: Union[str, Path]) -> Path:
+        """Export the versioned JSON metrics snapshot."""
+        import json
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w") as fh:
+            json.dump(self.telemetry.snapshot(), fh, indent=1,
+                      sort_keys=True)
+            fh.write("\n")
+        return out
+
+    def write_folded(self, path: Union[str, Path]) -> Path:
+        """Export collapsed stacks (flamegraph.pl folded format)."""
+        if self.profiler is None:
+            raise RuntimeError("run was not profiled "
+                               "(TelemetryOptions.profile=False)")
+        return self.profiler.write_folded(path)
+
+    def write_speedscope(self, path: Union[str, Path]) -> Path:
+        """Export a self-contained speedscope JSON profile."""
+        if self.profiler is None:
+            raise RuntimeError("run was not profiled "
+                               "(TelemetryOptions.profile=False)")
+        return self.profiler.write_speedscope(
+            path, name=self.result.config.label())
+
+
+def run_instrumented_experiment(config: ExperimentConfig,
+                                options: Optional[TelemetryOptions] = None
+                                ) -> InstrumentedExperiment:
+    """Run one experiment with the telemetry layer attached.
+
+    A :class:`~repro.telemetry.KernelTelemetry` hub hangs on the server
+    kernel before the simulation starts (the gated ``on_*`` sites light
+    up), watching the host receive path and the overlay data plane; with
+    ``options.profile`` a :class:`SimProfiler` additionally subscribes to
+    the span tracepoints.  Neither touches the simulator's event
+    schedule, so the returned :class:`ExperimentResult` measurements are
+    bit-identical to an unmetered run (the neutrality tests pin this) —
+    the result additionally carries the registry snapshot in
+    :attr:`ExperimentResult.telemetry`.
+    """
+    options = options or TelemetryOptions()
+    holder: Dict[str, Any] = {}
+
+    def attach(testbed: Testbed) -> None:
+        telemetry = KernelTelemetry(testbed.server.kernel).attach()
+        telemetry.watch_host(testbed.server)
+        telemetry.watch_overlay(testbed.server_overlay)
+        holder["telemetry"] = telemetry
+        if options.profile:
+            profiler = SimProfiler(
+                testbed.server.kernel,
+                sample_interval_ns=options.sample_interval_ns,
+                max_samples=options.max_samples)
+            profiler.start()
+            holder["profiler"] = profiler
+
+    result = _run_experiment(config, attach=attach)
+    telemetry: KernelTelemetry = holder["telemetry"]
+    profiler: Optional[SimProfiler] = holder.get("profiler")
+    if profiler is not None:
+        profiler.finalize()
+    telemetry.detach()
+    result.telemetry = telemetry.snapshot()
+    return InstrumentedExperiment(result=result, telemetry=telemetry,
+                                  profiler=profiler)

@@ -67,10 +67,14 @@ class Kernel:
         #: every kernel instance; set ``skb_pool.enabled = False`` to
         #: disable object reuse (ids stay per-experiment either way).
         self.skb_pool = SkbPool()
-        #: Drop counters by queue name (populated by NapiStruct/sockets).
+        #: Drop counters by queue name (populated via :meth:`count_drop`).
         self.drops: Dict[str, int] = {}
         #: Optional receive packet steering (see :meth:`enable_rps`).
         self.rps = None
+        #: Aggregate-telemetry hub (:class:`repro.telemetry.KernelTelemetry`)
+        #: or None.  Hot paths gate on ``kernel.telemetry is not None`` —
+        #: one attribute check per NAPI batch, mirroring ``tracer.active``.
+        self.telemetry = None
 
     def enable_rps(self, cpu_ids) -> None:
         """Spread incoming flows over *cpu_ids* by flow hash."""

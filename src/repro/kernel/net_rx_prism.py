@@ -42,6 +42,9 @@ def net_rx_action_prism(kernel: "Kernel", softnet: SoftnetData
     active = tracer.active
     trace_polls = active and tracer.has_subscribers(TracePoint.NAPI_POLL)
     spans = active and tracer.has_subscribers(TracePoint.SPAN_BEGIN)
+    telemetry = kernel.telemetry
+    if telemetry is not None:
+        telemetry.on_softirq(cpu.core_id, str(kernel.mode))
     if active and tracer.has_subscribers(TracePoint.NET_RX_ACTION):
         tracer.emit(TracePoint.NET_RX_ACTION, cpu=cpu.core_id,
                     mode=str(kernel.mode))

@@ -80,7 +80,7 @@ class NapiStruct:
         ok = queue.enqueue(skb)
         if not ok:
             self.kernel.tracer.emit(TracePoint.DROP, queue=queue.name, skb=skb)
-            self.kernel.drops[queue.name] = self.kernel.drops.get(queue.name, 0) + 1
+            self.kernel.count_drop(queue.name)
         elif self.kernel.tracer.active and \
                 self.kernel.tracer.has_subscribers(TracePoint.QUEUE_WAIT):
             # Stamp the enqueue time so the dequeue side can emit the
@@ -117,6 +117,9 @@ class NapiStruct:
                 yield from stage.process(skb, softnet)
                 processed += 1
             self.packets_processed += processed
+            telemetry = self.kernel.telemetry
+            if telemetry is not None:
+                telemetry.on_poll(self.name, processed)
             return processed
         trace_waits = tracer.has_subscribers(TracePoint.QUEUE_WAIT)
         yield self.kernel.costs.device_poll_overhead_ns
@@ -132,6 +135,9 @@ class NapiStruct:
             yield from self._process_skb(skb)
             processed += 1
         self.packets_processed += processed
+        telemetry = self.kernel.telemetry
+        if telemetry is not None:
+            telemetry.on_poll(self.name, processed)
         return processed
 
     def process_inline(self, skb: SKBuff) -> Generator[int, None, None]:
@@ -161,7 +167,8 @@ class NapiStruct:
             track = (f"cpu{softnet.cpu.core_id}" if softnet is not None
                      else self.name)
             tracer.emit(TracePoint.SPAN_BEGIN, track=track,
-                        name=f"skb:{stage.name}")
+                        name=f"skb:{stage.name}",
+                        hp=skb.is_high_priority)
             yield from stage.process(skb, self.softnet)
             tracer.emit(TracePoint.SPAN_END, track=track,
                         name=f"skb:{stage.name}")

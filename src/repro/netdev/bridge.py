@@ -58,5 +58,9 @@ class Bridge(NetDevice):
         self.forwarded += 1
         return port
 
+    def stats(self) -> dict:
+        """Counter snapshot (what the telemetry layer scrapes)."""
+        return {"forwarded": self.forwarded, "flood_drops": self.flood_drops}
+
     def __repr__(self) -> str:
         return f"<Bridge {self.name!r} ports={[p.name for p in self.ports]}>"

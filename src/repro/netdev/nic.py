@@ -166,6 +166,9 @@ class NicNapi(NapiStruct):
                 yield from stage.process(skb, softnet)
                 processed += 1
             self.packets_processed += processed
+            telemetry = kernel.telemetry
+            if telemetry is not None:
+                telemetry.on_poll(self.name, processed)
             return processed
         trace_allocs = tracer.has_subscribers(TracePoint.SKB_ALLOC)
         trace_waits = tracer.has_subscribers(TracePoint.QUEUE_WAIT)
@@ -192,6 +195,9 @@ class NicNapi(NapiStruct):
             yield from self._process_skb(skb)
             processed += 1
         self.packets_processed += processed
+        telemetry = kernel.telemetry
+        if telemetry is not None:
+            telemetry.on_poll(self.name, processed)
         return processed
 
 

@@ -60,6 +60,15 @@ class PacketQueue(Generic[T]):
     def clear(self) -> None:
         self._items.clear()
 
+    def stats(self) -> dict:
+        """Counter snapshot (what the telemetry layer scrapes)."""
+        return {
+            "depth": len(self._items),
+            "max_depth": self.max_depth,
+            "enqueued": self.enqueued,
+            "dropped": self.dropped,
+        }
+
     @property
     def is_empty(self) -> bool:
         return not self._items

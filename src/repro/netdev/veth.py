@@ -70,5 +70,9 @@ class VethPair:
         container_netns.add_device(self.container_end)
         self.container_end.rx_stage = ProtocolStage(kernel, container_netns)
 
+    def devices(self) -> tuple:
+        """Both ends, host end first (what the telemetry layer watches)."""
+        return (self.host_end, self.container_end)
+
     def __repr__(self) -> str:
         return f"<VethPair {self.host_end.name}<->{self.container_end.name}>"

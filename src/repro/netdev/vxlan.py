@@ -101,6 +101,9 @@ class VxlanDevice(NetDevice):
                 if kernel.tracer.has_subscribers(TracePoint.GRO_MERGE):
                     kernel.tracer.emit(TracePoint.GRO_MERGE,
                                        device=self.name, skb=skb)
+                telemetry = kernel.telemetry
+                if telemetry is not None:
+                    telemetry.on_gro_merge(self.name)
                 # The skb's packet now lives in the held super-skb's
                 # gro_list; the emptied metadata can be reused.
                 kernel.skb_pool.recycle(skb)

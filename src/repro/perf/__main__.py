@@ -9,6 +9,9 @@ Usage::
     python -m repro.perf --packetpath-only
     python -m repro.perf --label fastlane # tag the recorded run
     python -m repro.perf --profile prof.pstats  # cProfile the canonical cell
+    python -m repro.perf --telemetry-dir out/   # metered+profiled canonical
+                                                # cell: .prom/.folded/
+                                                # .speedscope.json/.metrics.json
 
 Each invocation appends one labelled run to ``BENCH_engine.json``,
 ``BENCH_experiments.json`` and/or ``BENCH_packetpath.json`` (in the
@@ -105,6 +108,30 @@ def _profile(out_path: Path, *, quick: bool) -> None:
     stats.print_stats(15)
 
 
+def _telemetry(out_dir: Path, *, quick: bool) -> None:
+    """Metered+profiled run of the canonical packet-path cell.
+
+    Writes the four telemetry artifacts CI uploads: OpenMetrics text,
+    the versioned JSON snapshot (diffable with ``--metrics-diff``),
+    collapsed stacks, and a speedscope profile.
+    """
+    from repro.bench.experiment import run_instrumented_experiment
+
+    config = packet_config(CANONICAL_PACKET, quick=quick)
+    instrumented = run_instrumented_experiment(config)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = CANONICAL_PACKET
+    written = [
+        instrumented.write_openmetrics(out_dir / f"{stem}.prom"),
+        instrumented.write_metrics_json(out_dir / f"{stem}.metrics.json"),
+        instrumented.write_folded(out_dir / f"{stem}.folded"),
+        instrumented.write_speedscope(out_dir / f"{stem}.speedscope.json"),
+    ]
+    print(f"telemetry: {instrumented.result}")
+    for path in written:
+        print(f"  wrote {path}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.perf",
                                      description=__doc__.split("\n")[0])
@@ -123,6 +150,11 @@ def main(argv=None) -> int:
                         help="instead of benchmarking, cProfile the "
                              "canonical packet-path workload and write a "
                              "pstats dump to this path")
+    parser.add_argument("--telemetry-dir", metavar="DIR", default=None,
+                        help="instead of benchmarking, run the canonical "
+                             "packet-path workload metered+profiled and "
+                             "write OpenMetrics/JSON-snapshot/folded/"
+                             "speedscope artifacts into DIR")
     args = parser.parse_args(argv)
     only_flags = [args.engine_only, args.experiments_only,
                   args.packetpath_only]
@@ -132,6 +164,10 @@ def main(argv=None) -> int:
 
     if args.profile is not None:
         _profile(Path(args.profile), quick=args.quick)
+        return 0
+
+    if args.telemetry_dir is not None:
+        _telemetry(Path(args.telemetry_dir), quick=args.quick)
         return 0
 
     out_dir = Path(args.out_dir)

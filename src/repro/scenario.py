@@ -32,9 +32,12 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Union
 from repro.bench.experiment import (
     ExperimentConfig,
     ExperimentResult,
+    InstrumentedExperiment,
+    TelemetryOptions,
     TraceOptions,
     TracedExperiment,
     run_experiment,
+    run_instrumented_experiment,
     run_traced_experiment,
 )
 from repro.kernel.config import KernelConfig
@@ -157,6 +160,14 @@ class Scenario:
         """Run with the observability layer attached (spans, gauges,
         Fig. 4 breakdown, Chrome-trace export)."""
         return run_traced_experiment(self._config, options)
+
+    def run_instrumented(self, options: Optional[TelemetryOptions] = None
+                         ) -> InstrumentedExperiment:
+        """Run with the telemetry layer attached (labeled metrics
+        registry, simulated-time sampling profiler, OpenMetrics /
+        folded-stack / speedscope export).  Measurements are pinned
+        identical to a plain :meth:`run`."""
+        return run_instrumented_experiment(self._config, options)
 
     # ------------------------------------------------------------------
     def label(self) -> str:

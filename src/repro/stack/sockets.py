@@ -63,6 +63,9 @@ class UdpSocket:
             return False
         self.delivered += 1
         self.delivered_bytes += skb.wire_len
+        telemetry = self.kernel.telemetry
+        if telemetry is not None:
+            telemetry.on_socket_deliver(self.rcvbuf.name)
         skb.mark("socket_enqueue", self.kernel.sim.now)
         if tracer.active and tracer.has_subscribers(TracePoint.SOCKET_ENQUEUE):
             tracer.emit(TracePoint.SOCKET_ENQUEUE,

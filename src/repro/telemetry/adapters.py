@@ -1,0 +1,74 @@
+"""Bridges from ``repro.metrics`` accounting objects into the registry.
+
+The bench harness already measures CPU utilization
+(:class:`~repro.metrics.recorder.CpuUtilizationSampler`) and delivered
+throughput (:class:`~repro.metrics.recorder.ThroughputMeter`); these
+adapters export those same objects as **callback gauges** — the registry
+reads them at collection time via :meth:`Gauge.set_function` — so the
+two layers share one accounting source instead of maintaining parallel
+counters that could drift.
+
+Registration is idempotent per (registry, source name): re-binding the
+same meter simply replaces the callback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.telemetry.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.recorder import CpuUtilizationSampler, ThroughputMeter
+
+__all__ = ["register_cpu_sampler", "register_throughput_meter"]
+
+
+def register_cpu_sampler(registry: MetricsRegistry,
+                         sampler: "CpuUtilizationSampler",
+                         label: str = "") -> None:
+    """Export *sampler* as utilization/softirq-fraction gauges.
+
+    The gauges call :meth:`CpuUtilizationSampler.utilization` /
+    :meth:`~CpuUtilizationSampler.softirq_fraction` when collected, so
+    they reflect the sampler's own measurement window (marked at warm-up
+    end by the experiment runner) — exactly the numbers that land in
+    ``ExperimentResult.cpu_utilization`` / ``softirq_fraction``.
+    """
+    cpu_label = label or f"cpu{sampler.core.core_id}"
+    utilization = registry.gauge(
+        "repro_cpu_utilization",
+        "Non-idle fraction of the sampler's measurement window", ("cpu",))
+    utilization.labels(cpu_label).set_function(sampler.utilization)
+    softirq = registry.gauge(
+        "repro_cpu_softirq_fraction",
+        "Softirq-context fraction of the sampler's measurement window",
+        ("cpu",))
+    softirq.labels(cpu_label).set_function(sampler.softirq_fraction)
+
+
+def register_throughput_meter(registry: MetricsRegistry,
+                              meter: "ThroughputMeter",
+                              label: str = "") -> None:
+    """Export *meter*'s :meth:`~ThroughputMeter.summary` fields as gauges.
+
+    One gauge family per summary field, labelled by the meter's name, all
+    reading the live meter at collection time.
+    """
+    name = label or meter.name or "meter"
+    families = {
+        "count": ("repro_meter_events",
+                  "Events the meter counted inside its window"),
+        "bytes": ("repro_meter_bytes",
+                  "Bytes the meter counted inside its window"),
+        "discarded": ("repro_meter_discarded",
+                      "Events discarded by the meter's warm-up gate"),
+        "first_at": ("repro_meter_first_at_ns",
+                     "Sim-time of the meter's first counted event"),
+        "last_at": ("repro_meter_last_at_ns",
+                    "Sim-time of the meter's last counted event"),
+    }
+    for field, (family_name, help_text) in families.items():
+        gauge = registry.gauge(family_name, help_text, ("meter",))
+        gauge.labels(name).set_function(
+            lambda m=meter, f=field: m.summary()[f])

@@ -1,0 +1,307 @@
+"""The kernel telemetry hub: gated live counters + collect-time scraping.
+
+:class:`KernelTelemetry` is the one object the metered run hangs on a
+kernel (``kernel.telemetry``).  Hot paths consult exactly one attribute —
+``kernel.telemetry is not None`` — per NAPI batch (or per rare event),
+the same gating discipline as ``tracer.active``, and call the ``on_*``
+hooks below.  The hooks are plain counter bumps: they never touch the
+simulator, so a metered run's event schedule (and therefore its
+``ExperimentResult``) is bit-identical to an unmetered run.
+
+Two classes of instrumentation, deliberately split:
+
+- **Live sites** (``on_softirq`` / ``on_poll`` / ``on_gro_merge`` /
+  ``on_socket_deliver``) count things no existing accounting attributes
+  per label: softirq invocations per (cpu, mode), NAPI batch sizes per
+  device, GRO merges per device, socket deliveries per socket.
+- **Scrape-on-collect** (:meth:`collect`) reads accounting the simulated
+  kernel maintains anyway — per-context CPU time, ``kernel.drops``,
+  queue depth/high-watermark/enqueue counters, device rx counters,
+  bridge/RPS/GRO totals — into the registry at collection time, so the
+  unmetered hot path carries zero extra bookkeeping.
+
+:meth:`bind_run` additionally exports the bench harness's own meters
+(:class:`~repro.metrics.recorder.CpuUtilizationSampler`,
+:class:`~repro.metrics.recorder.ThroughputMeter`) as callback gauges via
+:mod:`repro.telemetry.adapters` — one export path, no duplicated
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.telemetry.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+    from repro.metrics.recorder import CpuUtilizationSampler, ThroughputMeter
+    from repro.netdev.device import NetDevice
+    from repro.netdev.queues import PacketQueue
+
+__all__ = ["KernelTelemetry"]
+
+
+class KernelTelemetry:
+    """Metrics registry + instrumentation hooks for one kernel."""
+
+    def __init__(self, kernel: "Kernel",
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.kernel = kernel
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+
+        # --- live-site families --------------------------------------
+        self._softirqs = reg.counter(
+            "repro_softirq_invocations",
+            "NET_RX softirq handler invocations", ("cpu", "mode"))
+        self._polls = reg.counter(
+            "repro_napi_polls", "NAPI poll batches executed", ("napi",))
+        self._poll_packets = reg.counter(
+            "repro_napi_packets", "Packets processed by NAPI polls",
+            ("napi",))
+        self._batch = reg.histogram(
+            "repro_napi_batch_size", "Packets per NAPI poll batch",
+            ("napi",))
+        self._gro = reg.counter(
+            "repro_gro_merges", "Skbs GRO-coalesced into a held super-skb",
+            ("device",))
+        self._sock = reg.counter(
+            "repro_socket_delivered", "Skbs delivered to a socket rcvbuf",
+            ("socket",))
+
+        # --- scrape-on-collect families ------------------------------
+        self._cpu_ns = reg.counter(
+            "repro_cpu_time_ns", "Cumulative per-context CPU time (sim ns)",
+            ("cpu", "context"))
+        self._hardirqs = reg.counter(
+            "repro_hardirqs", "Hardware interrupts delivered", ("cpu",))
+        self._cstate = reg.counter(
+            "repro_cstate_wakeups", "C-state exits paid on wake-up", ("cpu",))
+        self._drops = reg.counter(
+            "repro_drops", "Packets dropped at a full queue", ("queue",))
+        self._dev_rx_packets = reg.counter(
+            "repro_device_rx_packets", "Packets received per device",
+            ("device",))
+        self._dev_rx_bytes = reg.counter(
+            "repro_device_rx_bytes", "Bytes received per device", ("device",))
+        self._q_depth = reg.gauge(
+            "repro_queue_depth", "Queue occupancy at collection time",
+            ("queue",))
+        self._q_max_depth = reg.gauge(
+            "repro_queue_max_depth", "Queue occupancy high-watermark",
+            ("queue",))
+        self._q_enqueued = reg.counter(
+            "repro_queue_enqueued", "Successful enqueues per queue",
+            ("queue",))
+        self._q_dropped = reg.counter(
+            "repro_queue_dropped", "Tail drops per queue", ("queue",))
+        self._bridge_forwarded = reg.counter(
+            "repro_bridge_forwarded", "Skbs the bridge forwarded",
+            ("bridge",))
+        self._bridge_flood_drops = reg.counter(
+            "repro_bridge_flood_drops", "Bridge FDB-miss drops", ("bridge",))
+        self._rps_steered = reg.counter(
+            "repro_rps_steered", "Skbs RPS steered to another CPU", ())
+        self._gro_segments = reg.counter(
+            "repro_gro_merged_segments", "Segments held in GRO super-skbs",
+            ("device",))
+
+        # Per-name child caches so the per-batch hooks cost one dict
+        # lookup, not a labels() tuple build.
+        self._poll_cache: Dict[str, Tuple[Any, Any, Any]] = {}
+        self._softirq_cache: Dict[Tuple[int, str], Any] = {}
+        self._gro_cache: Dict[str, Any] = {}
+        self._sock_cache: Dict[str, Any] = {}
+
+        self._watched_queues: List["PacketQueue"] = []
+        self._watched_devices: List["NetDevice"] = []
+        self._watched_bridges: List[Any] = []
+        self._watched_gro: List[Tuple[str, Any]] = []
+        self._watched_overlays: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Attach/detach (mirrors the tracer's subscribe discipline)
+    # ------------------------------------------------------------------
+    def attach(self) -> "KernelTelemetry":
+        """Install on the kernel; hot-path gates light up."""
+        if self.kernel.telemetry is not None and \
+                self.kernel.telemetry is not self:
+            raise RuntimeError(
+                f"{self.kernel.name}: another KernelTelemetry is attached")
+        self.kernel.telemetry = self
+        return self
+
+    def detach(self) -> None:
+        if self.kernel.telemetry is self:
+            self.kernel.telemetry = None
+
+    def __enter__(self) -> "KernelTelemetry":
+        return self.attach()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    # Live hooks (called from gated kernel sites)
+    # ------------------------------------------------------------------
+    def on_softirq(self, cpu_id: int, mode: str) -> None:
+        """One NET_RX softirq invocation on *cpu_id* under *mode*."""
+        key = (cpu_id, mode)
+        child = self._softirq_cache.get(key)
+        if child is None:
+            child = self._softirqs.labels(cpu_id, mode)
+            self._softirq_cache[key] = child
+        child.value += 1
+
+    def on_poll(self, napi_name: str, processed: int) -> None:
+        """One NAPI poll batch of *processed* packets on *napi_name*."""
+        entry = self._poll_cache.get(napi_name)
+        if entry is None:
+            entry = (self._polls.labels(napi_name),
+                     self._poll_packets.labels(napi_name),
+                     self._batch.labels(napi_name))
+            self._poll_cache[napi_name] = entry
+        polls, packets, batch = entry
+        polls.value += 1
+        packets.value += processed
+        batch.observe(processed)
+
+    def on_gro_merge(self, device: str) -> None:
+        child = self._gro_cache.get(device)
+        if child is None:
+            child = self._gro.labels(device)
+            self._gro_cache[device] = child
+        child.value += 1
+
+    def on_socket_deliver(self, socket: str) -> None:
+        child = self._sock_cache.get(socket)
+        if child is None:
+            child = self._sock.labels(socket)
+            self._sock_cache[socket] = child
+        child.value += 1
+
+    # ------------------------------------------------------------------
+    # Scrape sources
+    # ------------------------------------------------------------------
+    def watch_queue(self, queue: "PacketQueue") -> None:
+        if queue not in self._watched_queues:
+            self._watched_queues.append(queue)
+
+    def watch_device(self, device: "NetDevice") -> None:
+        if device not in self._watched_devices:
+            self._watched_devices.append(device)
+
+    def watch_host(self, host: Any) -> None:
+        """Watch a :class:`~repro.overlay.host.Host`'s standard receive
+        path: NIC ring(s), per-CPU backlogs and NAPI input queues, plus
+        the NIC device itself.  Overlay devices (vxlan, bridge, veths)
+        join via :meth:`watch_overlay` once the topology exists."""
+        nic = getattr(host, "nic", None)
+        if nic is not None:
+            self.watch_device(nic)
+            self.watch_queue(nic.ring)
+            if nic.ring_high is not None:
+                self.watch_queue(nic.ring_high)
+        for softnet in host.kernel.softnets:
+            self.watch_queue(softnet.backlog.queue_low)
+            self.watch_queue(softnet.backlog.queue_high)
+
+    def watch_overlay(self, host_overlay: Any) -> None:
+        """Watch a :class:`~repro.overlay.topology.HostOverlay`'s data
+        plane: the bridge, the vxlan device and its GRO engine, per-CPU
+        gro_cells queues, and container veth ends.  Containers and
+        gro_cells materialize lazily *after* attach, so the overlay is
+        remembered and re-walked at :meth:`collect` time."""
+        if host_overlay not in self._watched_overlays:
+            self._watched_overlays.append(host_overlay)
+
+    def _scrape_overlay_topology(self, host_overlay: Any) -> None:
+        bridge = getattr(host_overlay, "bridge", None)
+        if bridge is not None and bridge not in self._watched_bridges:
+            self._watched_bridges.append(bridge)
+        vxlan = getattr(host_overlay, "vxlan", None)
+        if vxlan is not None:
+            self.watch_device(vxlan)
+            if all(gro is not vxlan.gro for _n, gro in self._watched_gro):
+                self._watched_gro.append((vxlan.name, vxlan.gro))
+            for cell in vxlan._cells.values():
+                self.watch_queue(cell.queue_low)
+                self.watch_queue(cell.queue_high)
+        for container in getattr(host_overlay, "containers", {}).values():
+            veth = getattr(container, "veth", None)
+            if veth is not None:
+                for end in veth.devices():
+                    self.watch_device(end)
+
+    def register_meter(self, meter: "ThroughputMeter",
+                       label: str = "") -> None:
+        """Export one :class:`ThroughputMeter` as callback gauges.
+
+        Apps call this at construction when a telemetry hub is attached
+        (``kernel.telemetry``), so their meters export through the one
+        registry with no duplicated accounting."""
+        from repro.telemetry.adapters import register_throughput_meter
+        register_throughput_meter(self.registry, meter, label)
+
+    def bind_run(self, *, sampler: Optional["CpuUtilizationSampler"] = None,
+                 meters: Tuple["ThroughputMeter", ...] = ()) -> None:
+        """Export the bench harness's own accounting as callback gauges."""
+        from repro.telemetry.adapters import register_cpu_sampler
+        if sampler is not None:
+            register_cpu_sampler(self.registry, sampler)
+        for meter in meters:
+            if meter is not None:
+                self.register_meter(meter)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def collect(self) -> MetricsRegistry:
+        """Scrape every watched source into the registry; returns it."""
+        kernel = self.kernel
+        for core in kernel.cpus:
+            for context, ns in core.stats.ns.items():
+                self._cpu_ns.labels(core.core_id,
+                                    context.value).set_total(ns)
+            self._hardirqs.labels(core.core_id).set_total(
+                core.stats.hardirqs)
+            self._cstate.labels(core.core_id).set_total(
+                core.stats.cstate_wakeups)
+        for queue_name, count in kernel.drops.items():
+            self._drops.labels(queue_name).set_total(count)
+        for overlay in self._watched_overlays:
+            self._scrape_overlay_topology(overlay)
+        for queue in self._watched_queues:
+            self._q_depth.labels(queue.name).set(len(queue))
+            self._q_max_depth.labels(queue.name).set(queue.max_depth)
+            self._q_enqueued.labels(queue.name).set_total(queue.enqueued)
+            self._q_dropped.labels(queue.name).set_total(queue.dropped)
+        for device in self._watched_devices:
+            self._dev_rx_packets.labels(device.name).set_total(
+                device.rx_packets)
+            self._dev_rx_bytes.labels(device.name).set_total(
+                device.rx_bytes)
+        for bridge in self._watched_bridges:
+            self._bridge_forwarded.labels(bridge.name).set_total(
+                bridge.forwarded)
+            self._bridge_flood_drops.labels(bridge.name).set_total(
+                bridge.flood_drops)
+        for device_name, gro in self._watched_gro:
+            self._gro_segments.labels(device_name).set_total(
+                gro.merged_segments)
+        if kernel.rps is not None:
+            self._rps_steered.set_total(kernel.rps.steered)
+        return self.registry
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Collect, then return the registry's versioned JSON snapshot."""
+        return self.collect().snapshot()
+
+    def render_openmetrics(self) -> str:
+        """Collect, then render the OpenMetrics exposition."""
+        return self.collect().render_openmetrics()
+
+    def __repr__(self) -> str:
+        return (f"<KernelTelemetry kernel={self.kernel.name!r} "
+                f"{self.registry!r}>")

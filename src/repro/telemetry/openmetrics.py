@@ -1,0 +1,88 @@
+"""OpenMetrics text exposition for a :class:`MetricsRegistry`.
+
+Renders the subset of the OpenMetrics 1.0 text format that the registry's
+three metric kinds need: ``# TYPE``/``# HELP`` metadata, ``_total``
+suffixed counter samples, plain gauge samples, ``_bucket{le=...}`` /
+``_sum`` / ``_count`` histogram series, and the mandatory ``# EOF``
+terminator.  Output is deterministic: families appear in registration
+order, children sorted by label values, and no timestamps are emitted
+(a simulated run has no meaningful wall clock).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["render_openmetrics", "write_openmetrics"]
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape(value: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _labels(names: Iterable[str], values: Iterable[str],
+            extra: Tuple[str, str] = None) -> str:
+    parts = [f'{n}="{_escape(v)}"' for n, v in zip(names, values)]
+    if extra is not None:
+        parts.append(f'{extra[0]}="{_escape(extra[1])}"')
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _num(value) -> str:
+    """A canonical decimal rendering (ints without the trailing ``.0``)."""
+    if isinstance(value, float) and value.is_integer() and \
+            abs(value) < 2 ** 53:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _bound(bound: float) -> str:
+    """Bucket bound rendering: integral bounds print as integers."""
+    return _num(bound)
+
+
+def render_openmetrics(registry: "MetricsRegistry") -> str:
+    """The full exposition for *registry*, ``# EOF`` included."""
+    lines = []
+    for family in registry.families():
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape(family.help)}")
+        names = family.label_names
+        for values, child in family.samples():
+            if family.kind == "counter":
+                lines.append(f"{family.name}_total"
+                             f"{_labels(names, values)} {_num(child.value)}")
+            elif family.kind == "gauge":
+                lines.append(f"{family.name}"
+                             f"{_labels(names, values)} {_num(child.current())}")
+            elif family.kind == "histogram":
+                cumulative = child.cumulative()
+                bounds = [_bound(b) for b in child.buckets] + ["+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_labels(names, values, ('le', bound))} {count}")
+                lines.append(f"{family.name}_sum"
+                             f"{_labels(names, values)} {_num(child.sum)}")
+                lines.append(f"{family.name}_count"
+                             f"{_labels(names, values)} {child.count}")
+            else:  # pragma: no cover - no other kinds exist
+                raise ValueError(f"unknown metric kind {family.kind!r}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path, registry: "MetricsRegistry"):
+    """Write the exposition to *path*; returns the path."""
+    from pathlib import Path
+
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_openmetrics(registry))
+    return out

@@ -1,0 +1,152 @@
+"""bench_delta.py must degrade gracefully, never traceback.
+
+The CI delta step runs on every PR; a missing/empty/zero baseline (fresh
+branch, first bench run, renamed workload) has to produce a warning and
+exit 0 — a traceback would fail the job for reasons unrelated to the
+change under test.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_delta",
+    Path(__file__).resolve().parents[1] / ".github" / "bench_delta.py")
+bench_delta = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_delta)
+
+
+def write_bench(tmp_path, name, runs):
+    path = tmp_path / name
+    path.write_text(json.dumps({"schema": 1, "runs": runs}))
+    return str(path)
+
+
+def run_entry(pps, label="seed"):
+    return {
+        "label": label,
+        "quick": False,
+        "timestamp": "2026-01-01T00:00:00",
+        "canonical": "overlay_vanilla_bg300k",
+        "canonical_packets_per_sec": pps,
+        "workloads": {
+            "overlay_vanilla_bg300k": {"packets_per_sec": pps,
+                                       "seconds": 1.0},
+        },
+    }
+
+
+class TestGracefulSkips:
+    def test_missing_baseline_file_warns_and_exits_zero(self, tmp_path,
+                                                        capsys):
+        current = write_bench(tmp_path, "cur.json", [run_entry(100.0)])
+        rc = bench_delta.main([str(tmp_path / "absent.json"), current,
+                               "--gate", "20"])
+        assert rc == 0
+        assert "not found — comparison skipped" in capsys.readouterr().out
+
+    def test_missing_current_file_warns_and_exits_zero(self, tmp_path,
+                                                       capsys):
+        baseline = write_bench(tmp_path, "base.json", [run_entry(100.0)])
+        rc = bench_delta.main([baseline, str(tmp_path / "absent.json")])
+        assert rc == 0
+        assert "comparison skipped" in capsys.readouterr().out
+
+    def test_empty_runs_list_warns_and_exits_zero(self, tmp_path, capsys):
+        baseline = write_bench(tmp_path, "base.json", [])
+        current = write_bench(tmp_path, "cur.json", [run_entry(100.0)])
+        rc = bench_delta.main([baseline, current, "--gate", "20"])
+        assert rc == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_invalid_json_warns_and_exits_zero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        current = write_bench(tmp_path, "cur.json", [run_entry(100.0)])
+        rc = bench_delta.main([str(bad), current])
+        assert rc == 0
+        assert "not valid JSON" in capsys.readouterr().out
+
+    def test_unknown_metric_warns_and_exits_zero(self, tmp_path, capsys):
+        runs = [{"workloads": {"w": {"weird_unit": 1}}}]
+        baseline = write_bench(tmp_path, "base.json", runs)
+        current = write_bench(tmp_path, "cur.json", runs)
+        rc = bench_delta.main([baseline, current])
+        assert rc == 0
+        assert "no known throughput metric" in capsys.readouterr().out
+
+    def test_zero_baseline_headline_skips_gate(self, tmp_path, capsys):
+        baseline = write_bench(tmp_path, "base.json", [run_entry(0.0)])
+        current = write_bench(tmp_path, "cur.json", [run_entry(100.0)])
+        rc = bench_delta.main([baseline, current, "--gate", "20"])
+        assert rc == 0
+        assert "baseline headline is zero — skipped" in \
+            capsys.readouterr().out
+
+    def test_missing_headline_skips_gate(self, tmp_path, capsys):
+        entry = run_entry(100.0)
+        del entry["canonical_packets_per_sec"]
+        baseline = write_bench(tmp_path, "base.json", [entry])
+        current = write_bench(tmp_path, "cur.json", [run_entry(100.0)])
+        rc = bench_delta.main([baseline, current, "--gate", "20"])
+        assert rc == 0
+        assert "missing — skipped" in capsys.readouterr().out
+
+
+class TestGate:
+    def test_within_budget_passes(self, tmp_path):
+        baseline = write_bench(tmp_path, "base.json", [run_entry(100.0)])
+        current = write_bench(tmp_path, "cur.json", [run_entry(90.0)])
+        assert bench_delta.main([baseline, current, "--gate", "20"]) == 0
+
+    def test_regression_past_budget_fails(self, tmp_path, capsys):
+        baseline = write_bench(tmp_path, "base.json", [run_entry(100.0)])
+        current = write_bench(tmp_path, "cur.json", [run_entry(70.0)])
+        assert bench_delta.main([baseline, current, "--gate", "20"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_improvement_passes(self, tmp_path):
+        baseline = write_bench(tmp_path, "base.json", [run_entry(100.0)])
+        current = write_bench(tmp_path, "cur.json", [run_entry(200.0)])
+        assert bench_delta.main([baseline, current, "--gate", "20"]) == 0
+
+    def test_without_gate_output_is_informational(self, tmp_path, capsys):
+        baseline = write_bench(tmp_path, "base.json", [run_entry(100.0)])
+        current = write_bench(tmp_path, "cur.json", [run_entry(1.0)])
+        assert bench_delta.main([baseline, current]) == 0
+        out = capsys.readouterr().out
+        assert "| overlay_vanilla_bg300k |" in out
+
+    def test_latest_run_is_compared(self, tmp_path):
+        baseline = write_bench(tmp_path, "base.json",
+                               [run_entry(1.0), run_entry(100.0)])
+        current = write_bench(tmp_path, "cur.json", [run_entry(95.0)])
+        assert bench_delta.main([baseline, current, "--gate", "20"]) == 0
+
+
+def test_check_artifacts_detects_patterns_and_size(tmp_path):
+    """The artifact-hygiene checker flags tracked traces and huge files."""
+    spec = importlib.util.spec_from_file_location(
+        "check_artifacts",
+        Path(__file__).resolve().parents[1] / ".github" /
+        "check_artifacts.py")
+    check_artifacts = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(check_artifacts)
+
+    import subprocess
+    subprocess.run(["git", "init", "-q", str(tmp_path)], check=True)
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    (tmp_path / "bad.trace.json").write_text("{}")
+    (tmp_path / "huge.txt").write_text("a" * 2048)
+    subprocess.run(["git", "-C", str(tmp_path), "add", "-A"], check=True)
+
+    problems = check_artifacts.check(root=str(tmp_path), max_bytes=1024)
+    assert any("bad.trace.json" in p and "artifact pattern" in p
+               for p in problems)
+    assert any("huge.txt" in p and "exceeds" in p for p in problems)
+    assert not any("ok.py" in p for p in problems)

@@ -47,23 +47,23 @@ def _config(mode: StackMode, network: str) -> ExperimentConfig:
 GOLD = {
     "overlay-vanilla": (
         _config(StackMode.VANILLA, "overlay"),
-        "a9a9e76532fb680d371fb0959f1bf893c9cf6ebc1279203ada0178ea29d2456f",
-        "78eabe5891a9010c2108e0a3047f58d5cba050bcaab5a10035ba9f43a52b44da",
+        "57bc8551582a7e3e31b3ab4694ce8a64f2820195e303d794c89c080b9a2d24c7",
+        "1a29f457449dfcd385663e6490dcdce851946061be41bc604f6d14b003a36cd6",
     ),
     "overlay-prism-batch": (
         _config(StackMode.PRISM_BATCH, "overlay"),
-        "4fbe1b50bc0e764db9008229175bbf05b3c44f26d724d4d36c13df63f4581580",
-        "fda509dd71d4d14071560c80ae6f648041babb320afe09c7ae827136d32c507c",
+        "67d4510e4ed4d5aef1c0a9b8e4c108e93221d805a4bd72a173c1ab09a6d8e19a",
+        "911eaa87b9ab44fd1455fcbda3f3f6de9455cf4299137e7f7482c70bc2715f82",
     ),
     "overlay-prism-sync": (
         _config(StackMode.PRISM_SYNC, "overlay"),
-        "e16aa0a11d40aedb259b9a6f842d2e0e7b8814819aa7e295c7e2f0ee18c847d7",
-        "d533f6c1b46112e999f02f820bddab42b1d5cf50c398c008439e7b890f02b414",
+        "e3b2216c1cfc8abc68ee89d53b9fb0e4c5b397fbd4d261972bf5eaae7096bd0a",
+        "e27d810003be532272151bf94b8fa6961c0d5cbe7d05f270260f40f298bcb7d4",
     ),
     "host-vanilla": (
         _config(StackMode.VANILLA, "host"),
-        "c20aaf77035c6ac3d723474655d5b345d3c9296500ec612b8441d650ebaf3252",
-        "fd1ab73ca2f25adca45ff58673d1962b80ab39b79b242c0393d68570a152e336",
+        "e46de6c5374ca2cffffb25d5d79946ea0478102db5f93c6f67d34734e0f8d7d1",
+        "1f149719b54fbcecd5c93f6f7bca0083dc9c6f544c68404d3c3c8980e09d25fe",
     ),
 }
 

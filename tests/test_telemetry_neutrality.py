@@ -1,0 +1,184 @@
+"""Telemetry neutrality: metering and profiling never move a number.
+
+The telemetry layer's core contract (mirroring the tracer's): attaching
+the metrics hub and the sampling profiler must not change a single byte
+of the ``ExperimentResult``.  Pinned against the same golden digests the
+fast-path tests use, for all four canonical scenarios.
+
+Also pins the acceptance criteria of the metered+profiled run itself:
+the OpenMetrics exposition parses, the registry agrees with the kernel's
+own accounting, and the profiler's folded per-track totals sum to the
+accounted softirq time within 0.1%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiment import (
+    TelemetryOptions,
+    run_experiment,
+    run_instrumented_experiment,
+)
+from repro.bench.runner import result_digest
+from tests.test_fastpath_golden import GOLD, SCENARIOS
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_metered_profiled_run_is_digest_identical(scenario):
+    """Metered+profiled == unmetered, byte for byte (minus the snapshot,
+    stripped the same way traced runs strip stage_breakdown)."""
+    config, untraced, _ = GOLD[scenario]
+    instrumented = run_instrumented_experiment(config)
+    assert instrumented.result.telemetry is not None
+    stripped = instrumented.result
+    stripped.telemetry = None
+    assert result_digest(stripped) == untraced
+
+
+def test_metered_unprofiled_run_is_digest_identical():
+    """Metering alone (no profiler => untraced fast lanes) is neutral."""
+    config, untraced, _ = GOLD["overlay-vanilla"]
+    instrumented = run_instrumented_experiment(
+        config, TelemetryOptions(profile=False))
+    assert instrumented.profiler is None
+    stripped = instrumented.result
+    stripped.telemetry = None
+    assert result_digest(stripped) == untraced
+
+
+def test_instrumented_runs_are_reproducible():
+    """Two metered runs produce identical snapshots and expositions."""
+    config, _, _ = GOLD["overlay-vanilla"]
+    a = run_instrumented_experiment(config)
+    b = run_instrumented_experiment(config)
+    assert a.result.telemetry == b.result.telemetry
+    assert (a.telemetry.registry.render_openmetrics()
+            == b.telemetry.registry.render_openmetrics())
+
+
+class TestInstrumentedRunContents:
+    """One metered+profiled canonical cell, checked in depth."""
+
+    @pytest.fixture(scope="class")
+    def instrumented(self):
+        config, _, _ = GOLD["overlay-vanilla"]
+        return run_instrumented_experiment(config)
+
+    def test_registry_agrees_with_kernel_accounting(self, instrumented):
+        kernel = instrumented.telemetry.kernel
+        metrics = instrumented.result.telemetry["metrics"]
+
+        def series(name):
+            return {tuple(sorted(s["labels"].items())): s["value"]
+                    for s in metrics[name]["samples"]}
+
+        # Scraped CPU time matches CpuStats exactly.
+        cpu_ns = series("repro_cpu_time_ns")
+        for core in kernel.cpus:
+            for context, ns in core.stats.ns.items():
+                key = (("context", context.value),
+                       ("cpu", str(core.core_id)))
+                assert cpu_ns[key] == ns
+        # Scraped drops match kernel.drops exactly.
+        drops = series("repro_drops")
+        assert drops == {(("queue", q),): n
+                         for q, n in kernel.drops.items()}
+
+    def test_live_poll_counters_cover_delivered_traffic(self, instrumented):
+        metrics = instrumented.result.telemetry["metrics"]
+        polls = {s["labels"]["napi"]: s["value"]
+                 for s in metrics["repro_napi_polls"]["samples"]}
+        packets = {s["labels"]["napi"]: s["value"]
+                   for s in metrics["repro_napi_packets"]["samples"]}
+        assert polls.get("eth", 0) > 0, "NIC NAPI never counted a poll"
+        # Every NAPI that polled processed at least as many packets.
+        for napi, n in polls.items():
+            assert packets.get(napi, 0) >= n or packets.get(napi, 0) == 0
+        # Batch-size histogram totals agree with the packet counters.
+        for sample in metrics["repro_napi_batch_size"]["samples"]:
+            napi = sample["labels"]["napi"]
+            assert sample["sum"] == packets[napi]
+            assert sample["count"] == polls[napi]
+
+    def test_openmetrics_exposition_is_valid(self, instrumented):
+        text = instrumented.telemetry.render_openmetrics()
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF"
+        assert text.endswith("# EOF\n")
+        seen_types = {}
+        for line in lines[:-1]:
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ")
+                assert name not in seen_types, "duplicate TYPE"
+                seen_types[name] = kind
+                assert kind in ("counter", "gauge", "histogram")
+            elif line.startswith("# HELP "):
+                continue
+            else:
+                # Sample line: name{labels} value — value parses numeric.
+                head, _, value = line.rpartition(" ")
+                float(value)
+                assert head, f"malformed sample line {line!r}"
+        # Counters expose only under the _total suffix (a family with no
+        # children legitimately renders metadata and zero samples).
+        counter_names = [n for n, k in seen_types.items()
+                         if k == "counter"]
+        assert counter_names
+        for name in counter_names:
+            bare = [line for line in lines
+                    if line.startswith((f"{name} ", f"{name}{{"))]
+            assert not bare, f"{name}: counter sample without _total"
+        assert any(line.startswith("repro_softirq_invocations_total")
+                   for line in lines)
+
+    def test_folded_totals_match_softirq_time_within_tolerance(
+            self, instrumented):
+        """Acceptance criterion: per-stage folded totals sum to the
+        accounted simulated softirq CPU time within 0.1%."""
+        profiler = instrumented.profiler
+        kernel = instrumented.telemetry.kernel
+        for core in kernel.cpus:
+            softirq_ns = core.stats.softirq_ns
+            track_ns = profiler.total_ns(f"cpu{core.core_id}")
+            if softirq_ns == 0:
+                assert track_ns == 0
+                continue
+            assert abs(track_ns - softirq_ns) <= max(1, softirq_ns // 1000)
+
+    def test_folded_export_is_parseable(self, instrumented):
+        for line in instrumented.profiler.folded():
+            frames, _, ns = line.rpartition(" ")
+            assert int(ns) > 0
+            assert frames.split(";")[0].startswith("cpu")
+
+    def test_profiler_separates_priority_classes(self, instrumented):
+        """The hp/lp flow-priority dimension reaches the flamegraph."""
+        leaves = instrumented.profiler.stage_totals()
+        assert any(name.endswith("[lp]") for name in leaves), leaves
+
+    def test_harness_meters_export_through_registry(self, instrumented):
+        """Satellite: CpuUtilizationSampler + ThroughputMeter gauges ride
+        the one registry — values equal the result's own fields."""
+        result = instrumented.result
+        metrics = result.telemetry["metrics"]
+        util = {s["labels"]["cpu"]: s["value"]
+                for s in metrics["repro_cpu_utilization"]["samples"]}
+        assert util["cpu0"] == pytest.approx(result.cpu_utilization)
+        frac = {s["labels"]["cpu"]: s["value"]
+                for s in metrics["repro_cpu_softirq_fraction"]["samples"]}
+        assert frac["cpu0"] == pytest.approx(result.softirq_fraction)
+        meters = {s["labels"]["meter"]: s["value"]
+                  for s in metrics["repro_meter_events"]["samples"]}
+        fg_meter = "sockperf-server:11111"
+        window = result.config.duration_ns
+        assert meters[fg_meter] * 1e9 / window == pytest.approx(
+            result.fg_delivered_pps)
+
+    def test_snapshot_round_trips_through_result_serialization(
+            self, instrumented):
+        from repro.bench.experiment import ExperimentResult
+
+        clone = ExperimentResult.from_dict(instrumented.result.to_dict())
+        assert clone.telemetry == instrumented.result.telemetry
+        assert result_digest(clone) == result_digest(instrumented.result)

@@ -1,0 +1,207 @@
+"""SimProfiler unit tests: edge attribution, sampling, exports.
+
+Driven synthetically through a minimal kernel stand-in (the profiler
+only touches ``kernel.sim`` and ``kernel.tracer``), so span timings are
+exact and every assertion is arithmetic.  Integration against the real
+kernel's spans lives in test_telemetry_neutrality.py.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim.engine import Simulator
+from repro.telemetry import SimProfiler
+from repro.trace.tracer import TracePoint, Tracer
+
+
+class FakeKernel:
+    def __init__(self):
+        self.sim = Simulator()
+        self.tracer = Tracer()
+
+
+def make():
+    kernel = FakeKernel()
+    return kernel, kernel.sim, kernel.tracer
+
+
+def advance(sim, ns):
+    """Advance simulated time by *ns* (bounded run: the profiler's
+    periodic sampler keeps the event queue non-empty forever)."""
+    sim.run(until=sim.now + ns)
+    assert sim.now >= ns
+
+
+class TestEdgeAttribution:
+    def test_leaf_gets_elapsed_time(self):
+        kernel, sim, tracer = make()
+        prof = SimProfiler(kernel, sample_interval_ns=0)
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="outer")
+        advance(sim, 100)
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="inner")
+        advance(sim, 40)
+        tracer.emit(TracePoint.SPAN_END, track="cpu0", name="inner")
+        advance(sim, 10)
+        tracer.emit(TracePoint.SPAN_END, track="cpu0", name="outer")
+        prof.finalize()
+        assert prof.self_ns == {
+            ("cpu0", ("outer",)): 110,  # 100 before inner + 10 after
+            ("cpu0", ("outer", "inner")): 40,
+        }
+        assert prof.total_ns() == 150
+        assert prof.total_ns("cpu0") == 150
+        assert prof.total_ns("cpu1") == 0
+
+    def test_tracks_are_independent(self):
+        kernel, sim, tracer = make()
+        prof = SimProfiler(kernel, sample_interval_ns=0)
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="a")
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu1", name="b")
+        advance(sim, 50)
+        tracer.emit(TracePoint.SPAN_END, track="cpu0", name="a")
+        tracer.emit(TracePoint.SPAN_END, track="cpu1", name="b")
+        prof.finalize()
+        assert prof.self_ns[("cpu0", ("a",))] == 50
+        assert prof.self_ns[("cpu1", ("b",))] == 50
+        assert prof.tracks() == ["cpu0", "cpu1"]
+
+    def test_priority_class_folds_into_frame_name(self):
+        kernel, sim, tracer = make()
+        prof = SimProfiler(kernel, sample_interval_ns=0)
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="skb:eth",
+                    hp=True)
+        advance(sim, 30)
+        tracer.emit(TracePoint.SPAN_END, track="cpu0", name="skb:eth")
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="skb:eth",
+                    hp=False)
+        advance(sim, 70)
+        tracer.emit(TracePoint.SPAN_END, track="cpu0", name="skb:eth")
+        prof.finalize()
+        assert prof.self_ns[("cpu0", ("skb:eth[hp]",))] == 30
+        assert prof.self_ns[("cpu0", ("skb:eth[lp]",))] == 70
+
+    def test_finalize_attributes_trailing_open_span(self):
+        kernel, sim, tracer = make()
+        prof = SimProfiler(kernel, sample_interval_ns=0)
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="open")
+        advance(sim, 25)
+        prof.finalize()  # run ended mid-span
+        assert prof.self_ns[("cpu0", ("open",))] == 25
+
+    def test_finalize_is_idempotent_and_detaches(self):
+        kernel, sim, tracer = make()
+        prof = SimProfiler(kernel, sample_interval_ns=0)
+        prof.finalize()
+        prof.finalize()
+        assert not tracer.active  # subscriptions released
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="late")
+        advance(sim, 10)
+        assert prof.self_ns == {}  # detached: no further attribution
+
+    def test_stage_totals_key_by_leaf_frame(self):
+        kernel, sim, tracer = make()
+        prof = SimProfiler(kernel, sample_interval_ns=0)
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="outer")
+        advance(sim, 10)
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="leaf")
+        advance(sim, 5)
+        tracer.emit(TracePoint.SPAN_END, track="cpu0", name="leaf")
+        tracer.emit(TracePoint.SPAN_END, track="cpu0", name="outer")
+        prof.finalize()
+        assert prof.stage_totals() == {"outer": 10, "leaf": 5}
+
+
+class TestPeriodicSampling:
+    def test_samples_record_active_stack(self):
+        kernel, sim, tracer = make()
+        prof = SimProfiler(kernel, sample_interval_ns=10)
+        prof.start()
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="busy")
+        advance(sim, 100)
+        tracer.emit(TracePoint.SPAN_END, track="cpu0", name="busy")
+        prof.finalize()
+        assert prof.samples_taken == 10
+        assert prof.sample_counts == {("cpu0", ("busy",)): 10}
+
+    def test_idle_tracks_are_not_sampled(self):
+        kernel, sim, tracer = make()
+        prof = SimProfiler(kernel, sample_interval_ns=10)
+        prof.start()
+        advance(sim, 100)  # no open spans anywhere
+        prof.finalize()
+        assert prof.samples_taken == 0
+
+    def test_max_samples_bound_counts_overflow(self):
+        kernel, sim, tracer = make()
+        prof = SimProfiler(kernel, sample_interval_ns=10, max_samples=3)
+        prof.start()
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="busy")
+        advance(sim, 100)
+        tracer.emit(TracePoint.SPAN_END, track="cpu0", name="busy")
+        prof.finalize()
+        assert prof.samples_taken == 3
+        assert prof.samples_dropped == 7
+
+    def test_zero_interval_disables_sampling(self):
+        kernel, sim, tracer = make()
+        prof = SimProfiler(kernel, sample_interval_ns=0)
+        prof.start()
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="busy")
+        advance(sim, 100)
+        tracer.emit(TracePoint.SPAN_END, track="cpu0", name="busy")
+        prof.finalize()
+        assert prof.samples_taken == 0
+        assert prof.self_ns[("cpu0", ("busy",))] == 100  # edges still exact
+
+
+class TestExports:
+    def _profiled(self, sample_interval_ns=0):
+        kernel, sim, tracer = make()
+        prof = SimProfiler(kernel, sample_interval_ns=sample_interval_ns)
+        prof.start()
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="outer")
+        advance(sim, 60)
+        tracer.emit(TracePoint.SPAN_BEGIN, track="cpu0", name="inner")
+        advance(sim, 40)
+        tracer.emit(TracePoint.SPAN_END, track="cpu0", name="inner")
+        tracer.emit(TracePoint.SPAN_END, track="cpu0", name="outer")
+        prof.finalize()
+        return prof
+
+    def test_folded_lines(self):
+        prof = self._profiled()
+        assert prof.folded() == [
+            "cpu0;outer 60",
+            "cpu0;outer;inner 40",
+        ]
+
+    def test_write_folded(self, tmp_path):
+        prof = self._profiled()
+        out = prof.write_folded(tmp_path / "prof.folded")
+        assert out.read_text() == "cpu0;outer 60\ncpu0;outer;inner 40\n"
+
+    def test_speedscope_from_samples(self, tmp_path):
+        prof = self._profiled(sample_interval_ns=10)
+        doc = prof.speedscope("test")
+        assert doc["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json")
+        (profile,) = doc["profiles"]
+        assert profile["type"] == "sampled"
+        assert profile["name"] == "cpu0"
+        assert len(profile["samples"]) == prof.samples_taken == 10
+        assert profile["weights"] == [10] * 10
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        # Every referenced frame index resolves.
+        for sample in profile["samples"]:
+            for idx in sample:
+                assert 0 <= idx < len(frames)
+        out = prof.write_speedscope(tmp_path / "prof.speedscope.json")
+        assert json.loads(out.read_text())["name"] == "repro"
+
+    def test_speedscope_fallback_from_folded_stacks(self):
+        prof = self._profiled(sample_interval_ns=0)  # no periodic samples
+        doc = prof.speedscope()
+        (profile,) = doc["profiles"]
+        assert profile["weights"] == [60, 40]
+        assert profile["endValue"] == 100
