@@ -29,6 +29,8 @@ ARTIFACT_PATTERNS = (
     "*.metrics.json",
     "*.pstats",
     "trace-smoke.json",
+    "*.report.json",
+    "fault-smoke.json",
 )
 
 DEFAULT_MAX_BYTES = 1024 * 1024

@@ -28,23 +28,50 @@ from repro.bench.figures import FIGURES, configure, reproduce
 from repro.bench.report import format_experiment_header, format_table
 
 
-def _canonical_scenario(mode: str, bg_rate_pps: float):
+def _canonical_scenario(mode: str, bg_rate_pps: float,
+                        faults: str = None):
     """The canonical stress scenario (--seeds / --trace runs)."""
     from repro.scenario import Scenario
     from repro.sim.units import MS
 
-    return (Scenario(mode=mode)
-            .foreground("pingpong", rate_pps=1_000)
-            .background(rate_pps=bg_rate_pps)
-            .timing(duration_ns=150 * MS, warmup_ns=40 * MS))
+    scenario = (Scenario(mode=mode)
+                .foreground("pingpong", rate_pps=1_000)
+                .background(rate_pps=bg_rate_pps)
+                .timing(duration_ns=150 * MS, warmup_ns=40 * MS))
+    if faults:
+        scenario = scenario.with_faults(faults)
+    return scenario
+
+
+def _fault_run(args) -> None:
+    """Run the canonical scenario under an injected fault plan."""
+    scenario = _canonical_scenario(args.mode, args.bg, args.faults)
+    result = scenario.run()
+    print(result)
+    recovery = result.recovery or {}
+    print(f"recovery: retries={recovery.get('retries_total', 0)} "
+          f"timeouts={recovery.get('timeouts_total', 0)} "
+          f"gave_up={recovery.get('gave_up', 0)}")
+    c = result.conservation or {}
+    print(f"conservation: injected={c.get('injected', 0)} "
+          f"delivered={c.get('delivered', 0)} "
+          f"dropped={c.get('dropped', 0)} "
+          f"in_flight={c.get('in_processing', 0) + c.get('queued', 0)} "
+          f"balanced={c.get('balanced')}")
+    summary = result.fault_summary or {}
+    forced = summary.get("forced", {})
+    if forced:
+        print("forced drops by site:")
+        for site, count in forced.items():
+            print(f"  {site:30s} {count}")
 
 
 def _seed_stability(seeds, jobs: int, cache: bool, mode: str,
-                    bg_rate_pps: float) -> None:
+                    bg_rate_pps: float, faults: str = None) -> None:
     """Print mean/stdev stability statistics for a canonical scenario."""
     from repro.bench.runner import run_repeated
 
-    config = _canonical_scenario(mode, bg_rate_pps).build()
+    config = _canonical_scenario(mode, bg_rate_pps, faults).build()
     repeated = run_repeated(config, seeds, jobs=jobs, cache=cache)
     print(f"stability over seeds {seeds} ({config.label()}):")
     for metric, stat in repeated.stability.items():
@@ -52,9 +79,10 @@ def _seed_stability(seeds, jobs: int, cache: bool, mode: str,
               f"(cv {stat.rel_stdev * 100:.1f}%)")
 
 
-def _traced_run(path: str, mode: str, bg_rate_pps: float) -> None:
+def _traced_run(path: str, mode: str, bg_rate_pps: float,
+                faults: str = None) -> None:
     """Run the canonical scenario traced; write Chrome JSON, print Fig. 4."""
-    scenario = _canonical_scenario(mode, bg_rate_pps)
+    scenario = _canonical_scenario(mode, bg_rate_pps, faults)
     traced = scenario.run_traced()
     out = traced.write_chrome(path)
     print(f"[{scenario.label()}] {traced.result.fg_latency}")
@@ -68,7 +96,7 @@ def _traced_run(path: str, mode: str, bg_rate_pps: float) -> None:
 
 def _instrumented_run(args) -> None:
     """Run the canonical scenario metered+profiled; write requested files."""
-    scenario = _canonical_scenario(args.mode, args.bg)
+    scenario = _canonical_scenario(args.mode, args.bg, args.faults)
     instrumented = scenario.run_instrumented()
     print(instrumented.result)
     if args.metrics:
@@ -142,7 +170,19 @@ def main(argv=None) -> int:
     parser.add_argument("--bg", type=float, default=300_000, metavar="PPS",
                         help="background flood rate for --trace/--seeds/"
                         "--metrics runs (default: 300000 pps)")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="inject faults into the canonical scenario and "
+                        "enable loss recovery; SPEC is ';'-separated clauses "
+                        "like 'burst@80ms x2; loss:eth:0.01; flap@50ms+2ms; "
+                        "retries=5; timeout=5ms' (see FaultPlan.parse)")
     args = parser.parse_args(argv)
+
+    if args.faults:
+        from repro.faults import FaultPlan
+        try:
+            FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            parser.error(f"--faults: {exc}")
 
     configure(jobs=args.jobs, cache=args.cache)
 
@@ -160,7 +200,7 @@ def main(argv=None) -> int:
             return 0
 
     if args.trace:
-        _traced_run(args.trace, args.mode, args.bg)
+        _traced_run(args.trace, args.mode, args.bg, args.faults)
         if not (args.figure or args.seeds):
             return 0
 
@@ -170,7 +210,13 @@ def main(argv=None) -> int:
         except ValueError:
             parser.error(f"--seeds expects comma-separated integers, "
                          f"got {args.seeds!r}")
-        _seed_stability(seeds, args.jobs, args.cache, args.mode, args.bg)
+        _seed_stability(seeds, args.jobs, args.cache, args.mode, args.bg,
+                        args.faults)
+        if not args.figure:
+            return 0
+
+    if args.faults:
+        _fault_run(args)
         if not args.figure:
             return 0
 

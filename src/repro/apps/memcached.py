@@ -18,21 +18,21 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.apps.remote import RemoteRequestSender, RemoteTcpReassembler
+from repro.faults.plan import RetryPolicy
+from repro.faults.recovery import RetryTracker
 from repro.kernel.cpu import Work
 from repro.metrics.recorder import LatencyRecorder, ThroughputMeter
 from repro.overlay.container import Container
 from repro.overlay.network import RemoteContainer, RemoteHost
 from repro.overlay.topology import OverlayNetwork
 from repro.packet.packet import Packet
-from repro.sim.engine import Simulator
+from repro.sim.engine import ScheduledCall, Simulator
 from repro.sim.rng import SeededRng
 from repro.stack.tcp import TcpMessage
 
 __all__ = ["MemcachedServer", "MemaslapClient", "MemcachedOp"]
 
 MEMCACHED_PORT = 11211
-
-_op_seq = itertools.count(1)
 
 
 @dataclass
@@ -104,7 +104,9 @@ class MemaslapClient:
                  src_port: int = 31001,
                  rng: Optional[SeededRng] = None,
                  recorder: Optional[LatencyRecorder] = None,
-                 warmup_until_ns: int = 0) -> None:
+                 warmup_until_ns: int = 0,
+                 retry: Optional[RetryPolicy] = None,
+                 retry_rng: Optional[SeededRng] = None) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
         self.sim = sim
@@ -121,10 +123,28 @@ class MemaslapClient:
             "memaslap", warmup_until_ns=warmup_until_ns)
         self.completed = ThroughputMeter("memaslap-ops",
                                          warmup_until_ns=warmup_until_ns)
+        #: Per-client op sequence — a module-global counter here would be
+        #: cross-experiment mutable state (an in-process repeat run would
+        #: see different seq values, and so different dict iteration).
+        self._op_seq = itertools.count(1)
         self._inflight: Dict[int, MemcachedOp] = {}
+        #: Loss recovery, or None for the historical fail-stop behaviour
+        #: (a lost request permanently shrinks the window).
+        self._retry: Optional[RetryTracker] = None
+        if retry is not None:
+            self._retry = RetryTracker(
+                retry, retry_rng if retry_rng is not None else SeededRng(0),
+                "memaslap")
+        self._timers: Dict[int, ScheduledCall] = {}
+        self._attempts: Dict[int, int] = {}
         self._reassembler = RemoteTcpReassembler(self._on_message)
         client.on_port(src_port, self._on_packet)
         self._started = False
+
+    @property
+    def recovery(self):
+        """RecoveryStats when loss recovery is enabled, else None."""
+        return self._retry.stats if self._retry is not None else None
 
     def start(self) -> None:
         """Issue the initial window of requests."""
@@ -141,13 +161,53 @@ class MemaslapClient:
             op="get" if is_get else "set",
             key=f"key-{key_index:06d}",
             value_len=self.value_len,
-            seq=next(_op_seq),
+            seq=next(self._op_seq),
             sent_at=self.sim.now)
         self._inflight[op.seq] = op
+        self._send(op)
+        if self._retry is not None:
+            self._retry.stats.sent += 1
+            self._arm_timer(op)
+
+    def _send(self, op: MemcachedOp) -> None:
+        # Each (re)transmission wraps the op in a *fresh* TcpMessage:
+        # the server-side reassembler accumulates per message identity,
+        # so resending the original object could merge with a partially
+        # received first attempt.
         length = self.request_len + (self.value_len if op.op == "set" else 0)
         message = TcpMessage(payload=op, length=length, created_at=self.sim.now)
         self.sender.send_tcp_message(src_port=self.src_port,
                                      dst_port=self.port, message=message)
+
+    # ------------------------------------------------------------------
+    # Loss recovery (active only when a RetryPolicy is configured)
+    # ------------------------------------------------------------------
+    def _arm_timer(self, op: MemcachedOp) -> None:
+        attempt = self._attempts.get(op.seq, 0)
+        self._timers[op.seq] = self.sim.schedule(
+            self._retry.deadline_ns(attempt), self._on_timeout, op.seq)
+
+    def _on_timeout(self, seq: int) -> None:
+        op = self._inflight.get(seq)
+        if op is None:
+            return  # reply raced the timer
+        self._timers.pop(seq, None)
+        tracker = self._retry
+        tracker.stats.timeouts += 1
+        attempt = self._attempts.get(seq, 0)
+        if tracker.exhausted(attempt):
+            # Abandon the op but *refill the window slot* — this is the
+            # deadlock fix: pre-recovery, a lost packet shrank the window
+            # forever and a window's worth of losses stalled the client.
+            tracker.stats.gave_up += 1
+            self._inflight.pop(seq, None)
+            self._attempts.pop(seq, None)
+            self._issue()
+            return
+        self._attempts[seq] = attempt + 1
+        tracker.stats.retries += 1
+        self._send(op)
+        self._arm_timer(op)
 
     def _on_packet(self, inner: Packet) -> None:
         self._reassembler.feed(inner)
@@ -158,7 +218,15 @@ class MemaslapClient:
             return
         pending = self._inflight.pop(op.seq, None)
         if pending is None:
+            # A retransmit already won the race (or the op was abandoned).
+            if self._retry is not None:
+                self._retry.stats.duplicates += 1
             return
+        timer = self._timers.pop(op.seq, None)
+        if timer is not None:
+            timer.cancel()
+        self._attempts.pop(op.seq, None)
+        # Latency from the *original* send: retries pay for their loss.
         latency = self.sim.now - pending.sent_at
         self.recorder.record(latency, at_ns=self.sim.now)
         self.completed.record(self.sim.now)

@@ -20,23 +20,24 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
+from repro.faults.plan import RetryPolicy
+from repro.faults.recovery import RetryTracker
 from repro.kernel.cpu import Work
 from repro.metrics.recorder import LatencyRecorder, ThroughputMeter
 from repro.overlay.container import Container
 from repro.overlay.network import RemoteContainer, RemoteHost
 from repro.overlay.topology import OverlayNetwork
 from repro.packet.packet import Packet
-from repro.sim.engine import Simulator
+from repro.sim.engine import ScheduledCall, Simulator
+from repro.sim.rng import SeededRng
 from repro.sim.units import SEC
 from repro.apps.remote import RemoteRequestSender
 from repro.stack.tcp import TcpMessage
 
 __all__ = ["PingRecord", "SockperfUdpServer", "SockperfUdpClient",
            "SockperfUdpFlood", "SockperfTcpFlood"]
-
-_seq = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -105,7 +106,9 @@ class SockperfUdpClient:
                  rate_pps: float, payload_len: int = 16,
                  src_port: int = 30001,
                  recorder: Optional[LatencyRecorder] = None,
-                 warmup_until_ns: int = 0) -> None:
+                 warmup_until_ns: int = 0,
+                 retry: Optional[RetryPolicy] = None,
+                 retry_rng: Optional[SeededRng] = None) -> None:
         if rate_pps <= 0:
             raise ValueError("rate_pps must be positive")
         self.sim = sim
@@ -118,22 +121,85 @@ class SockperfUdpClient:
             f"sockperf:{dst_port}", warmup_until_ns=warmup_until_ns)
         self.sent = 0
         self.replies = 0
+        #: Per-client ping sequence (was a module-global counter:
+        #: cross-experiment mutable state).
+        self._seq = itertools.count(1)
+        #: Request/response loss recovery.  The paced sender keeps
+        #: running without it (open loop), but every lost ping is a
+        #: silently missing latency sample; with it, the ping is
+        #: retransmitted and its full delay lands in the distribution.
+        self._retry: Optional[RetryTracker] = None
+        if retry is not None:
+            self._retry = RetryTracker(
+                retry, retry_rng if retry_rng is not None else SeededRng(0),
+                f"sockperf:{dst_port}")
+        self._pending: Dict[int, PingRecord] = {}
+        self._timers: Dict[int, ScheduledCall] = {}
+        self._attempts: Dict[int, int] = {}
         client.on_port(src_port, self._on_reply)
         self.process = sim.process(self._run(), name=f"sockperf-cli:{dst_port}")
 
+    @property
+    def recovery(self):
+        """RecoveryStats when loss recovery is enabled, else None."""
+        return self._retry.stats if self._retry is not None else None
+
     def _run(self):
         while True:
-            record = PingRecord(seq=next(_seq), sent_at=self.sim.now)
-            self.sender.send_udp(src_port=self.src_port, dst_port=self.dst_port,
-                                 payload=record, payload_len=self.payload_len,
-                                 created_at=self.sim.now)
+            record = PingRecord(seq=next(self._seq), sent_at=self.sim.now)
+            self._send(record)
             self.sent += 1
+            if self._retry is not None:
+                self._retry.stats.sent += 1
+                self._pending[record.seq] = record
+                self._arm_timer(record)
             yield self.interval_ns
+
+    def _send(self, record: PingRecord) -> None:
+        self.sender.send_udp(src_port=self.src_port, dst_port=self.dst_port,
+                             payload=record, payload_len=self.payload_len,
+                             created_at=self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Loss recovery (active only when a RetryPolicy is configured)
+    # ------------------------------------------------------------------
+    def _arm_timer(self, record: PingRecord) -> None:
+        attempt = self._attempts.get(record.seq, 0)
+        self._timers[record.seq] = self.sim.schedule(
+            self._retry.deadline_ns(attempt), self._on_timeout, record.seq)
+
+    def _on_timeout(self, seq: int) -> None:
+        record = self._pending.get(seq)
+        if record is None:
+            return  # reply raced the timer
+        self._timers.pop(seq, None)
+        tracker = self._retry
+        tracker.stats.timeouts += 1
+        attempt = self._attempts.get(seq, 0)
+        if tracker.exhausted(attempt):
+            tracker.stats.gave_up += 1
+            self._pending.pop(seq, None)
+            self._attempts.pop(seq, None)
+            return
+        self._attempts[seq] = attempt + 1
+        tracker.stats.retries += 1
+        # Same record (and original sent_at): a recovered ping reports
+        # its true, loss-inflated latency.
+        self._send(record)
+        self._arm_timer(record)
 
     def _on_reply(self, inner: Packet) -> None:
         record = inner.payload
         if not isinstance(record, PingRecord):
             return
+        if self._retry is not None:
+            if self._pending.pop(record.seq, None) is None:
+                self._retry.stats.duplicates += 1
+                return
+            timer = self._timers.pop(record.seq, None)
+            if timer is not None:
+                timer.cancel()
+            self._attempts.pop(record.seq, None)
         self.replies += 1
         rtt = self.sim.now - record.sent_at
         # sockperf reports one-way latency as RTT/2.

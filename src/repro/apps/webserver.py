@@ -15,23 +15,25 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.apps.remote import RemoteRequestSender, RemoteTcpReassembler
+from repro.faults.plan import RetryPolicy
+from repro.faults.recovery import RetryTracker
 from repro.kernel.cpu import Work
 from repro.metrics.recorder import LatencyRecorder, ThroughputMeter
 from repro.overlay.container import Container
 from repro.overlay.network import RemoteContainer, RemoteHost
 from repro.overlay.topology import OverlayNetwork
 from repro.packet.packet import Packet
-from repro.sim.engine import Simulator
+from repro.sim.engine import ScheduledCall, Simulator
+from repro.sim.rng import SeededRng
 from repro.sim.units import SEC
 from repro.stack.tcp import TcpMessage
 
 __all__ = ["NginxServer", "Wrk2Client", "HttpRequest"]
 
 HTTP_PORT = 80
-
-_req_seq = itertools.count(1)
 
 
 @dataclass
@@ -85,7 +87,9 @@ class Wrk2Client:
                  src_port: int = 32001,
                  recorder: LatencyRecorder = None,
                  warmup_until_ns: int = 0,
-                 latency_from: str = "intended") -> None:
+                 latency_from: str = "intended",
+                 retry: Optional[RetryPolicy] = None,
+                 retry_rng: Optional[SeededRng] = None) -> None:
         if rate_rps <= 0:
             raise ValueError("rate_rps must be positive")
         if latency_from not in ("intended", "sent"):
@@ -111,8 +115,25 @@ class Wrk2Client:
         #: Intended send times of requests not yet written (single
         #: connection, no pipelining).
         self._pending_intended = []
+        #: Per-client request sequence (was a module-global counter:
+        #: cross-experiment mutable state).
+        self._req_seq = itertools.count(1)
+        #: Loss recovery; without it a single lost request/response
+        #: wedges the connection forever (``_outstanding`` never clears).
+        self._retry: Optional[RetryTracker] = None
+        if retry is not None:
+            self._retry = RetryTracker(
+                retry, retry_rng if retry_rng is not None else SeededRng(0),
+                "wrk2")
+        self._timer: Optional[ScheduledCall] = None
+        self._attempts = 0
         client.on_port(src_port, self._on_packet)
         self.process = sim.process(self._scheduler(), name=f"wrk2:{port}")
+
+    @property
+    def recovery(self):
+        """RecoveryStats when loss recovery is enabled, else None."""
+        return self._retry.stats if self._retry is not None else None
 
     # ------------------------------------------------------------------
     # Request scheduling (constant rate, single connection)
@@ -135,13 +156,48 @@ class Wrk2Client:
         if self._outstanding is not None or not self._pending_intended:
             return
         intended_at = self._pending_intended.pop(0)
-        request = HttpRequest(path="/index.html", seq=next(_req_seq),
+        request = HttpRequest(path="/index.html", seq=next(self._req_seq),
                               intended_at=intended_at, sent_at=self.sim.now)
         self._outstanding = request
+        self._send(request)
+        if self._retry is not None:
+            self._retry.stats.sent += 1
+            self._attempts = 0
+            self._arm_timer()
+
+    def _send(self, request: HttpRequest) -> None:
+        # Fresh TcpMessage per (re)transmission — see MemaslapClient.
         message = TcpMessage(payload=request, length=self.request_len,
                              created_at=self.sim.now)
         self.sender.send_tcp_message(src_port=self.src_port,
                                      dst_port=self.port, message=message)
+
+    # ------------------------------------------------------------------
+    # Loss recovery (active only when a RetryPolicy is configured)
+    # ------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        self._timer = self.sim.schedule(
+            self._retry.deadline_ns(self._attempts), self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        request = self._outstanding
+        if request is None:
+            return  # reply raced the timer
+        self._timer = None
+        tracker = self._retry
+        tracker.stats.timeouts += 1
+        if tracker.exhausted(self._attempts):
+            # Abandon it and free the connection — without this, one
+            # lost request wedges the (single, non-pipelined) connection
+            # for the rest of the run.
+            tracker.stats.gave_up += 1
+            self._outstanding = None
+            self._pump()
+            return
+        self._attempts += 1
+        tracker.stats.retries += 1
+        self._send(request)
+        self._arm_timer()
 
     def _on_packet(self, inner: Packet) -> None:
         self._reassembler.feed(inner)
@@ -151,8 +207,14 @@ class Wrk2Client:
         if not isinstance(request, HttpRequest):
             return
         if self._outstanding is None or request.seq != self._outstanding.seq:
+            # Late reply for an abandoned or already-answered request.
+            if self._retry is not None:
+                self._retry.stats.duplicates += 1
             return
         self._outstanding = None
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
         if self.latency_from == "intended":
             # wrk2 latency: from the intended (scheduled) send time.
             latency = self.sim.now - request.intended_at

@@ -12,12 +12,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.apps.memcached import MemaslapClient, MemcachedServer
 from repro.apps.sockperf import SockperfTcpFlood, SockperfUdpFlood, SockperfUdpServer
 from repro.apps.webserver import NginxServer, Wrk2Client
 from repro.bench.testbed import build_testbed
+from repro.faults import FaultInjector, FaultPlan, merge_recovery
 from repro.kernel.config import KernelConfig
 from repro.kernel.costs import CostModel
 from repro.metrics.recorder import CpuUtilizationSampler, LatencyRecorder
@@ -57,6 +58,10 @@ class AppBenchConfig:
     seed: int = 1
     costs: Optional[CostModel] = None
     kernel_config: Optional[KernelConfig] = None
+    #: Optional fault-injection plan; when set, the measured client runs
+    #: with the plan's :class:`~repro.faults.plan.RetryPolicy` so losses
+    #: are retried instead of deadlocking the closed loop.
+    faults: Optional[FaultPlan] = None
 
     def label(self) -> str:
         return f"{self.mode}/{'busy' if self.busy else 'idle'}"
@@ -72,11 +77,43 @@ class AppBenchResult:
     completed: int
     cpu_utilization: float
     drops: Dict[str, int] = field(default_factory=dict)
+    #: Fault-run extras (``None`` on loss-free runs): what the injector
+    #: did, the exact packet-conservation report, and the measured
+    #: client's merged loss-recovery totals.
+    fault_summary: Optional[Dict[str, Any]] = None
+    conservation: Optional[Dict[str, Any]] = None
+    recovery: Optional[Dict[str, Any]] = None
 
     def __str__(self) -> str:
         latency = str(self.latency) if self.latency else "no samples"
         return (f"[{self.config.label()}] {self.throughput_per_sec:,.0f} op/s | "
                 f"{latency} | cpu={self.cpu_utilization * 100:.0f}%")
+
+
+def _install_faults(testbed, config: AppBenchConfig):
+    """Install the configured FaultInjector (None on loss-free runs)."""
+    if config.faults is None:
+        return None
+    return FaultInjector(config.faults, testbed).install()
+
+
+def _retry_kwargs(testbed, config: AppBenchConfig, label: str) -> dict:
+    """Retry wiring for the measured client of a fault run."""
+    if config.faults is None:
+        return {}
+    return {"retry": config.faults.retry,
+            "retry_rng": testbed.rng.fork(f"retry:{label}")}
+
+
+def _attach_fault_extras(result: AppBenchResult, injector, client) -> None:
+    if injector is None:
+        return
+    result.fault_summary = injector.summary()
+    result.conservation = injector.conservation_report()
+    stats = [s for s in (client.recovery,) if s is not None]
+    totals: Dict[str, Any] = merge_recovery(stats)
+    totals["clients"] = [s.to_dict() for s in stats]
+    result.recovery = totals
 
 
 def _with_udp_background(testbed, config: AppBenchConfig) -> None:
@@ -111,6 +148,7 @@ def run_memcached_benchmark(config: AppBenchConfig) -> AppBenchResult:
     """Fig. 12: memaslap ops/s and latency, idle vs busy."""
     testbed = build_testbed(seed=config.seed, costs=config.costs,
                             config=config.kernel_config, mode=config.mode)
+    injector = _install_faults(testbed, config)
     sim = testbed.sim
     mc_cont = testbed.add_server_container("memcached", "10.0.0.10")
     client_cont = testbed.add_client_container("memaslap", "10.0.0.100")
@@ -120,7 +158,8 @@ def run_memcached_benchmark(config: AppBenchConfig) -> AppBenchResult:
                             "10.0.0.10", window=config.window,
                             rng=testbed.rng.fork("memaslap"),
                             recorder=recorder,
-                            warmup_until_ns=config.warmup_ns)
+                            warmup_until_ns=config.warmup_ns,
+                            **_retry_kwargs(testbed, config, "memaslap"))
     if config.busy:
         _with_udp_background(testbed, config)
     testbed.mark_high_priority("10.0.0.10", 11211)
@@ -132,19 +171,22 @@ def run_memcached_benchmark(config: AppBenchConfig) -> AppBenchResult:
     sampler.mark()
     sim.run(until=config.warmup_ns + config.duration_ns)
 
-    return AppBenchResult(
+    result = AppBenchResult(
         config=config,
         latency=recorder.summary(),
         throughput_per_sec=client.completed.count * 1e9 / config.duration_ns,
         completed=client.completed.count,
         cpu_utilization=sampler.utilization(),
         drops=dict(testbed.server.kernel.drops))
+    _attach_fault_extras(result, injector, client)
+    return result
 
 
 def run_webserver_benchmark(config: AppBenchConfig) -> AppBenchResult:
     """Fig. 13: wrk2 requests/s and latency, idle vs busy."""
     testbed = build_testbed(seed=config.seed, costs=config.costs,
                             config=config.kernel_config, mode=config.mode)
+    injector = _install_faults(testbed, config)
     sim = testbed.sim
     web_cont = testbed.add_server_container("nginx", "10.0.0.10")
     client_cont = testbed.add_client_container("wrk2", "10.0.0.100")
@@ -153,7 +195,8 @@ def run_webserver_benchmark(config: AppBenchConfig) -> AppBenchResult:
     client = Wrk2Client(sim, testbed.client, testbed.overlay, client_cont,
                         "10.0.0.10", rate_rps=config.wrk2_rate_rps,
                         recorder=recorder, warmup_until_ns=config.warmup_ns,
-                        latency_from="sent")
+                        latency_from="sent",
+                        **_retry_kwargs(testbed, config, "wrk2"))
     if config.busy:
         _with_tcp_background(testbed, config)
     testbed.mark_high_priority("10.0.0.10", 80)
@@ -164,10 +207,12 @@ def run_webserver_benchmark(config: AppBenchConfig) -> AppBenchResult:
     sampler.mark()
     sim.run(until=config.warmup_ns + config.duration_ns)
 
-    return AppBenchResult(
+    result = AppBenchResult(
         config=config,
         latency=recorder.summary(),
         throughput_per_sec=client.completed.count * 1e9 / config.duration_ns,
         completed=client.completed.count,
         cpu_utilization=sampler.utilization(),
         drops=dict(testbed.server.kernel.drops))
+    _attach_fault_extras(result, injector, client)
+    return result

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields as dataclass_fields
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple, Union
 
 from repro.apps.sockperf import (
     SockperfUdpClient,
@@ -20,6 +20,7 @@ from repro.apps.sockperf import (
     SockperfUdpServer,
 )
 from repro.bench.testbed import Testbed, build_testbed
+from repro.faults import FaultInjector, FaultPlan, merge_recovery
 from repro.kernel.config import KernelConfig
 from repro.kernel.costs import CostModel
 from repro.kernel.cpu import Work
@@ -102,6 +103,15 @@ class ExperimentConfig:
     seed: int = 1
     costs: Optional[CostModel] = None
     kernel_config: Optional[KernelConfig] = None
+    #: Optional fault-injection plan (loss, bursts, flaps + loss
+    #: recovery).  ``None`` — the canonical, loss-free configuration —
+    #: is *omitted* from the serialized form so that every pre-existing
+    #: config hashes and round-trips byte-identically.
+    faults: Optional[FaultPlan] = None
+
+    #: Fields the serialization layers drop when ``None`` (see
+    #: :func:`repro.bench.runner._jsonable` and :meth:`to_dict`).
+    _JSON_OMIT_WHEN_NONE: ClassVar[Tuple[str, ...]] = ("faults",)
 
     def label(self) -> str:
         busy = f"+bg{self.bg_rate_pps / 1000:.0f}k" if self.bg_rate_pps else ""
@@ -115,10 +125,14 @@ class ExperimentConfig:
         out: Dict[str, Any] = {"version": SCHEMA_VERSION}
         for f in dataclass_fields(self):
             value = getattr(self, f.name)
+            if value is None and f.name in self._JSON_OMIT_WHEN_NONE:
+                continue
             if isinstance(value, StackMode):
                 value = str(value)
             elif isinstance(value, (CostModel, KernelConfig)):
                 value = _frozen_to_dict(value)
+            elif isinstance(value, FaultPlan):
+                value = value.to_dict()
             out[f.name] = value
         return out
 
@@ -135,6 +149,8 @@ class ExperimentConfig:
         if kwargs.get("kernel_config") is not None:
             kwargs["kernel_config"] = _frozen_from_dict(
                 KernelConfig, kwargs["kernel_config"])
+        if kwargs.get("faults") is not None:
+            kwargs["faults"] = FaultPlan.from_dict(kwargs["faults"])
         return cls(**kwargs)
 
 
@@ -181,6 +197,20 @@ class ExperimentResult:
     #: Versioned metrics snapshot (:meth:`MetricsRegistry.snapshot`);
     #: populated by instrumented runs only.
     telemetry: Optional[Dict[str, Any]] = None
+    #: What the injector did (:meth:`FaultInjector.summary`); fault runs
+    #: only — ``None`` stays absent from the wire format so loss-free
+    #: results digest byte-identically to pre-fault-layer code.
+    fault_summary: Optional[Dict[str, Any]] = None
+    #: Packet-conservation report (:meth:`PacketLedger.report`):
+    #: ``injected == delivered + dropped(by site) + in-flight`` with the
+    #: residual and per-site breakdowns; fault runs only.
+    conservation: Optional[Dict[str, Any]] = None
+    #: Merged loss-recovery totals (retries/timeouts/give-ups) plus the
+    #: per-client stats; fault runs only.
+    recovery: Optional[Dict[str, Any]] = None
+
+    _JSON_OMIT_WHEN_NONE: ClassVar[Tuple[str, ...]] = (
+        "fault_summary", "conservation", "recovery")
 
     def __str__(self) -> str:
         latency = str(self.fg_latency) if self.fg_latency else "no samples"
@@ -203,7 +233,7 @@ class ExperimentResult:
         if self.fg_latency is not None:
             latency = {f.name: getattr(self.fg_latency, f.name)
                        for f in dataclass_fields(self.fg_latency)}
-        return {
+        out = {
             "version": SCHEMA_VERSION,
             "config": self.config.to_dict(),
             "fg_latency": latency,
@@ -218,6 +248,11 @@ class ExperimentResult:
             "stage_breakdown": self.stage_breakdown,
             "telemetry": self.telemetry,
         }
+        for name in self._JSON_OMIT_WHEN_NONE:
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
@@ -239,6 +274,9 @@ class ExperimentResult:
             drops=dict(data["drops"]),
             stage_breakdown=data.get("stage_breakdown"),
             telemetry=data.get("telemetry"),
+            fault_summary=data.get("fault_summary"),
+            conservation=data.get("conservation"),
+            recovery=data.get("recovery"),
         )
 
 
@@ -354,11 +392,20 @@ def _overlay_setup(testbed: Testbed, config: ExperimentConfig,
 
     counters = {"fg_sent": 0, "fg_replies": 0}
     if reply:
+        retry = retry_rng = None
+        if config.faults is not None:
+            # Loss recovery rides with the fault plan: every injected
+            # loss is retried rather than silently thinning the sample
+            # stream.  The retry jitter draws from its own labeled fork
+            # so it cannot perturb workload randomness.
+            retry = config.faults.retry
+            retry_rng = testbed.rng.fork("retry:sockperf")
         fg_client = SockperfUdpClient(
             sim, testbed.client, testbed.overlay, fg_client_cont,
             "10.0.0.10", FG_PORT, rate_pps=config.fg_rate_pps,
             payload_len=config.fg_payload_len, src_port=30001,
-            recorder=recorder, warmup_until_ns=config.warmup_ns)
+            recorder=recorder, warmup_until_ns=config.warmup_ns,
+            retry=retry, retry_rng=retry_rng)
     else:
         fg_client = SockperfUdpFlood(
             sim, testbed.client, testbed.overlay, fg_client_cont,
@@ -408,6 +455,9 @@ def _run_experiment(config: ExperimentConfig, *,
     testbed = build_testbed(seed=config.seed, costs=config.costs,
                             config=config.kernel_config, mode=config.mode,
                             tracer=tracer)
+    injector: Optional[FaultInjector] = None
+    if config.faults is not None:
+        injector = FaultInjector(config.faults, testbed).install()
     if attach is not None:
         attach(testbed)
     sim = testbed.sim
@@ -428,6 +478,7 @@ def _run_experiment(config: ExperimentConfig, *,
         # Metered run: export the harness's own accounting through the
         # shared registry (no duplicated bookkeeping — callback gauges).
         telemetry.bind_run(sampler=sampler, meters=(fg_meter, bg_meter))
+        telemetry.register_recovery(getattr(fg_client, "recovery", None))
 
     sim.run(until=config.warmup_ns)
     sampler.mark()
@@ -444,7 +495,7 @@ def _run_experiment(config: ExperimentConfig, *,
     else:
         fg_sent = getattr(fg_client, "sent", 0)
         fg_replies = getattr(fg_client, "replies", 0)
-    return ExperimentResult(
+    result = ExperimentResult(
         config=config,
         fg_latency=recorder.summary(),
         fg_samples_ns=list(recorder.samples_ns),
@@ -456,6 +507,17 @@ def _run_experiment(config: ExperimentConfig, *,
         softirq_fraction=sampler.softirq_fraction(),
         drops=dict(testbed.server.kernel.drops),
     )
+    if injector is not None:
+        result.fault_summary = injector.summary()
+        result.conservation = injector.conservation_report()
+        stats = []
+        recovery = getattr(fg_client, "recovery", None)
+        if recovery is not None:
+            stats.append(recovery)
+        totals: Dict[str, Any] = merge_recovery(stats)
+        totals["clients"] = [s.to_dict() for s in stats]
+        result.recovery = totals
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -85,8 +85,15 @@ def _jsonable(value: Any) -> Any:
     """Convert configs/results into a stable, json-serializable structure."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         out: Dict[str, Any] = {"__class__": type(value).__name__}
+        # A dataclass may declare optional extension fields that must not
+        # perturb pre-existing hashes while unset (cache keys and result
+        # digests stay byte-stable as the schema grows).
+        omit = getattr(type(value), "_JSON_OMIT_WHEN_NONE", ())
         for f in dataclasses.fields(value):
-            out[f.name] = _jsonable(getattr(value, f.name))
+            v = getattr(value, f.name)
+            if v is None and f.name in omit:
+                continue
+            out[f.name] = _jsonable(v)
         return out
     if isinstance(value, enum.Enum):
         return [type(value).__name__, value.value]

@@ -1,0 +1,114 @@
+"""Packet-conservation ledger.
+
+Every packet that enters a host must end up in exactly one terminal
+bucket: *delivered* to a socket/endpoint, *dropped* at a named site, or
+still *in flight* (being processed by a CPU, or sitting in a queue).
+The invariant
+
+    injected == delivered + dropped(by site) + in_flight
+
+is checked **exactly** — any leak (a drop path that forgets to account,
+a queue that discards without counting, a retransmit double-count) shows
+up as a nonzero residual with enough site detail to localize it.
+
+Weighting: the unit of conservation is the *wire packet*.  GRO merges
+fold k packets into one super-skb whose ``gro_segments == 1 + k``, so
+every skb-granular event (queue occupancy, drop, delivery) is weighted
+by ``gro_segments``.  The NIC rx ring holds raw ``(arrival, packet)``
+tuples — weight 1 per item.  TCP rcvbuf drops are *message*-level and
+happen after the packet terminal (``TcpEndpoint.receive_skb`` entry), so
+they do not appear in this ledger.
+
+Instrumentation sites are all gated on ``kernel.ledger is not None`` —
+with no FaultPlan the ledger is never constructed and the hot path pays
+one attribute test per gate.
+"""
+
+from typing import Callable, Dict, List
+
+
+class PacketLedger:
+    """Exact packet accounting across injection, terminal, and queues."""
+
+    __slots__ = ("injected", "delivered", "dropped", "in_processing",
+                 "_queue_providers")
+
+    def __init__(self) -> None:
+        self.injected: Dict[str, int] = {}
+        self.delivered: Dict[str, int] = {}
+        self.dropped: Dict[str, int] = {}
+        #: Wire-packet weight of skbs dequeued but not yet terminal/queued.
+        self.in_processing = 0
+        self._queue_providers: List[Callable[[], int]] = []
+
+    # -- accounting ----------------------------------------------------
+
+    def inject(self, site: str, n: int = 1) -> None:
+        self.injected[site] = self.injected.get(site, 0) + n
+
+    def deliver(self, site: str, n: int = 1) -> None:
+        self.delivered[site] = self.delivered.get(site, 0) + n
+
+    def drop(self, site: str, n: int = 1) -> None:
+        self.dropped[site] = self.dropped.get(site, 0) + n
+
+    def enter(self, n: int = 1) -> None:
+        self.in_processing += n
+
+    def leave(self, n: int = 1) -> None:
+        self.in_processing -= n
+
+    def add_queue_provider(self, provider: Callable[[], int]) -> None:
+        """Register a callable returning a queue's current weighted depth."""
+        self._queue_providers.append(provider)
+
+    # -- the invariant -------------------------------------------------
+
+    def queued(self) -> int:
+        return sum(provider() for provider in self._queue_providers)
+
+    def totals(self) -> Dict[str, int]:
+        queued = self.queued()
+        injected = sum(self.injected.values())
+        delivered = sum(self.delivered.values())
+        dropped = sum(self.dropped.values())
+        return {
+            "injected": injected,
+            "delivered": delivered,
+            "dropped": dropped,
+            "in_processing": self.in_processing,
+            "queued": queued,
+            "residual": injected - delivered - dropped
+                        - self.in_processing - queued,
+        }
+
+    @property
+    def balanced(self) -> bool:
+        return self.totals()["residual"] == 0
+
+    def report(self) -> dict:
+        """Serializable snapshot: totals + per-site breakdowns."""
+        totals = self.totals()
+        return {
+            **totals,
+            "balanced": totals["residual"] == 0,
+            "injected_by_site": dict(sorted(self.injected.items())),
+            "delivered_by_site": dict(sorted(self.delivered.items())),
+            "dropped_by_site": dict(sorted(self.dropped.items())),
+        }
+
+    def check(self) -> None:
+        """Raise ``AssertionError`` with full site detail on any leak."""
+        report = self.report()
+        if report["residual"] != 0:
+            raise AssertionError(
+                "packet conservation violated: "
+                f"residual={report['residual']} "
+                f"(injected={report['injected']} "
+                f"delivered={report['delivered']} "
+                f"dropped={report['dropped']} "
+                f"in_processing={report['in_processing']} "
+                f"queued={report['queued']})\n"
+                f"injected_by_site={report['injected_by_site']}\n"
+                f"delivered_by_site={report['delivered_by_site']}\n"
+                f"dropped_by_site={report['dropped_by_site']}")

@@ -75,6 +75,15 @@ class Kernel:
         #: or None.  Hot paths gate on ``kernel.telemetry is not None`` —
         #: one attribute check per NAPI batch, mirroring ``tracer.active``.
         self.telemetry = None
+        #: Fault injector (:class:`repro.faults.FaultInjector`) or None.
+        #: Consulted at rx-ring admission, NAPI-queue admission, skb
+        #: allocation, and IRQ delivery — same gating discipline as
+        #: ``telemetry``.
+        self.faults = None
+        #: Packet-conservation ledger (:class:`repro.faults.PacketLedger`)
+        #: or None; set together with ``faults`` when a FaultPlan is
+        #: installed.
+        self.ledger = None
 
     def enable_rps(self, cpu_ids) -> None:
         """Spread incoming flows over *cpu_ids* by flow hash."""

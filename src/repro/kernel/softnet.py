@@ -76,17 +76,37 @@ class NapiStruct:
 
     def enqueue(self, skb: SKBuff, high: bool) -> bool:
         """Enqueue to the high or low input queue; False on overflow drop."""
+        kernel = self.kernel
         queue = self.queue_high if high else self.queue_low
+        ledger = kernel.ledger
+        faults = kernel.faults
+        if faults is not None and faults.drop_at_queue(queue.name):
+            # Forced fault drop at admission; the caller recycles the skb
+            # exactly as it would for an organic overflow.
+            site = f"fault:{queue.name}"
+            kernel.count_drop(site)
+            if ledger is not None:
+                w = skb.gro_segments
+                ledger.drop(site, w)
+                ledger.leave(w)
+            return False
         ok = queue.enqueue(skb)
+        if ledger is not None:
+            # Either way the skb stops being "in processing": it is now
+            # counted by the queue-depth provider, or terminally dropped.
+            w = skb.gro_segments
+            ledger.leave(w)
+            if not ok:
+                ledger.drop(queue.name, w)
         if not ok:
-            self.kernel.tracer.emit(TracePoint.DROP, queue=queue.name, skb=skb)
-            self.kernel.count_drop(queue.name)
-        elif self.kernel.tracer.active and \
-                self.kernel.tracer.has_subscribers(TracePoint.QUEUE_WAIT):
+            kernel.tracer.emit(TracePoint.DROP, queue=queue.name, skb=skb)
+            kernel.count_drop(queue.name)
+        elif kernel.tracer.active and \
+                kernel.tracer.has_subscribers(TracePoint.QUEUE_WAIT):
             # Stamp the enqueue time so the dequeue side can emit the
             # complete residency interval.  Only when an observer is
             # attached: the mark is a dict insert per packet otherwise.
-            skb.mark(f"q:{queue.name}", self.kernel.sim.now)
+            skb.mark(f"q:{queue.name}", kernel.sim.now)
         return ok
 
     # ------------------------------------------------------------------
@@ -109,9 +129,12 @@ class NapiStruct:
             queue = self.queue_high if self.queue_high else self.queue_low
             fixed_stage = self.stage
             softnet = self.softnet
+            ledger = self.kernel.ledger
             processed = 0
             while processed < batch_size and queue:
                 skb = queue.dequeue()
+                if ledger is not None:
+                    ledger.enter(skb.gro_segments)
                 stage = (fixed_stage if fixed_stage is not None
                          else self._stage_for(skb))
                 yield from stage.process(skb, softnet)
@@ -124,9 +147,12 @@ class NapiStruct:
         trace_waits = tracer.has_subscribers(TracePoint.QUEUE_WAIT)
         yield self.kernel.costs.device_poll_overhead_ns
         queue = self.queue_high if self.queue_high else self.queue_low
+        ledger = self.kernel.ledger
         processed = 0
         while processed < batch_size and queue:
             skb = queue.dequeue()
+            if ledger is not None:
+                ledger.enter(skb.gro_segments)
             if trace_waits:
                 since = skb.marks.get(f"q:{queue.name}")
                 if since is not None:

@@ -23,6 +23,7 @@ stage (which is why PRISM cannot help host flows — Fig. 10).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Generator, Optional, Tuple, TYPE_CHECKING
 
 from repro.kernel.softnet import NapiStruct
@@ -47,26 +48,37 @@ class NicStage(PacketStage):
 
     name = "eth"
 
+    #: Decap-memo capacity: enough for every concurrent flow in the
+    #: paper's scenarios, small enough that a non-sharing sender can't
+    #: bloat it.
+    DECAP_MEMO_CAP = 64
+
     def __init__(self, nic: "PhysicalNic") -> None:
         self.nic = nic
         #: id(outer headers tuple) -> (outer headers, inner headers,
-        #: inner layer cache).  Decapsulation is a pure function of the
-        #: header stack, and senders share stacks per flow (see
+        #: inner layer cache), LRU-ordered.  Decapsulation is a pure
+        #: function of the header stack, and senders share stacks per
+        #: flow (see
         #: :class:`~repro.fastpath.headercache.CachedUdpBuilder`), so the
         #: slice-and-rescan work is done once per stack.  Keying by
-        #: identity is safe because the entry holds a strong reference to
-        #: the outer tuple (its id can never be reused); the size cap
-        #: bounds memory when senders do not share stacks.
-        self._decap_memo: Dict[int, Tuple] = {}
+        #: identity is safe because a live entry holds a strong reference
+        #: to its outer tuple (the id of a memoized stack can never be
+        #: reused; eviction removes key and reference together).  Bounded
+        #: LRU — not insert-only — so a churn of non-shared stacks can't
+        #: permanently crowd out the hot flows.
+        self._decap_memo: "OrderedDict[int, Tuple]" = OrderedDict()
 
     def _decap(self, packet: Packet) -> Packet:
-        entry = self._decap_memo.get(id(packet.headers))
+        memo = self._decap_memo
+        key = id(packet.headers)
+        entry = memo.get(key)
         if entry is None:
             _header, inner = vxlan_decapsulate(packet)
-            if len(self._decap_memo) < 64:
-                self._decap_memo[id(packet.headers)] = (
-                    packet.headers, inner.headers, inner._scan())
+            memo[key] = (packet.headers, inner.headers, inner._scan())
+            if len(memo) > self.DECAP_MEMO_CAP:
+                memo.popitem(last=False)
             return inner
+        memo.move_to_end(key)
         _outer, inner_headers, layer_cache = entry
         inner = Packet(headers=inner_headers, payload=packet.payload,
                        payload_len=packet.payload_len,
@@ -148,6 +160,8 @@ class NicNapi(NapiStruct):
             stage = self.stage
             softnet = self.softnet
             sim = kernel.sim
+            faults = kernel.faults
+            ledger = kernel.ledger
             yield kernel.costs.device_poll_overhead_ns
             ring = (self.nic.ring_high
                     if self.nic.ring_high is not None and self.nic.ring_high
@@ -155,6 +169,16 @@ class NicNapi(NapiStruct):
             processed = 0
             while processed < batch_size and ring:
                 arrival, packet = ring.dequeue()
+                if faults is not None and faults.skb_alloc_fails():
+                    # alloc_skb returned NULL: the descriptor is consumed
+                    # and the packet is gone.
+                    kernel.count_drop("fault:skb-alloc")
+                    if ledger is not None:
+                        ledger.drop("fault:skb-alloc")
+                    processed += 1
+                    continue
+                if ledger is not None:
+                    ledger.enter(1)
                 now = sim.now
                 skb = pool.alloc(packet, dev=self.nic, alloc_time=now)
                 marks = skb.marks
@@ -176,9 +200,20 @@ class NicNapi(NapiStruct):
         ring = (self.nic.ring_high
                 if self.nic.ring_high is not None and self.nic.ring_high
                 else self.nic.ring)
+        faults = kernel.faults
+        ledger = kernel.ledger
         processed = 0
         while processed < batch_size and ring:
             arrival, packet = ring.dequeue()
+            if faults is not None and faults.skb_alloc_fails():
+                kernel.count_drop("fault:skb-alloc")
+                tracer.emit(TracePoint.DROP, queue="fault:skb-alloc", skb=None)
+                if ledger is not None:
+                    ledger.drop("fault:skb-alloc")
+                processed += 1
+                continue
+            if ledger is not None:
+                ledger.enter(1)
             skb = kernel.skb_pool.alloc(packet, dev=self.nic,
                                         alloc_time=kernel.sim.now)
             skb.mark("rx_ring", arrival)
@@ -241,10 +276,23 @@ class PhysicalNic(NetDevice):
         """A packet arrives from the wire: DMA into the rx ring."""
         self.rx_packets += 1
         self.rx_bytes += packet.wire_len
+        kernel = self.kernel
         ring = self._hardware_steer(packet)
-        if not ring.enqueue((self.kernel.sim.now, packet)):
-            self.kernel.count_drop(ring.name)
-            self.kernel.tracer.emit(TracePoint.DROP, queue=ring.name, skb=None)
+        ledger = kernel.ledger
+        if ledger is not None:
+            ledger.inject(self.name)
+        faults = kernel.faults
+        if faults is not None and faults.drop_at_queue(ring.name):
+            site = f"fault:{ring.name}"
+            kernel.count_drop(site)
+            if ledger is not None:
+                ledger.drop(site)
+            return
+        if not ring.enqueue((kernel.sim.now, packet)):
+            kernel.count_drop(ring.name)
+            if ledger is not None:
+                ledger.drop(ring.name)
+            kernel.tracer.emit(TracePoint.DROP, queue=ring.name, skb=None)
             return
         self._maybe_interrupt()
 
@@ -282,9 +330,17 @@ class PhysicalNic(NetDevice):
             self._fire_irq()
 
     def _fire_irq(self) -> None:
-        self._last_irq_at = self.kernel.sim.now
+        kernel = self.kernel
+        self._last_irq_at = kernel.sim.now
+        faults = kernel.faults
+        if faults is not None and faults.irq_lost():
+            # The interrupt is lost in "hardware": moderation state
+            # advances but the NAPI is never scheduled and the irq stays
+            # unmasked, so a later arrival (or the moderation timer)
+            # re-triggers delivery.  Ring contents are preserved.
+            return
         self.irq_enabled = False  # NIC masks its irq while scheduled
-        cpu = self.kernel.cpu(self.cpu_id)
+        cpu = kernel.cpu(self.cpu_id)
         cpu.hardirq(lambda: self.softnet.napi_schedule(self.napi))
 
     def _on_napi_complete(self) -> None:

@@ -29,6 +29,10 @@ class PacketQueue(Generic[T]):
         #: Deepest the queue has ever been (occupancy high-watermark,
         #: reported by the observability gauges).
         self.max_depth = 0
+        #: Items discarded by :meth:`clear` (device resets, link flaps).
+        #: Kept separate from ``dropped`` (tail drops on admission) so
+        #: packet-conservation checks can account every discarded item.
+        self.cleared = 0
 
     def enqueue(self, item: T) -> bool:
         """Append *item*; returns False (and counts a drop) when full."""
@@ -58,6 +62,8 @@ class PacketQueue(Generic[T]):
         return self._items[-1] if self._items else None
 
     def clear(self) -> None:
+        """Discard all queued items, counting them in ``cleared``."""
+        self.cleared += len(self._items)
         self._items.clear()
 
     def stats(self) -> dict:
@@ -67,6 +73,7 @@ class PacketQueue(Generic[T]):
             "max_depth": self.max_depth,
             "enqueued": self.enqueued,
             "dropped": self.dropped,
+            "cleared": self.cleared,
         }
 
     @property

@@ -47,17 +47,26 @@ class BridgeStage(PacketStage):
         yield costs.stage_packet_cost(costs.bridge_pkt_ns, skb.wire_len)
         bridge = self.vxlan_dev.bridge
         if bridge is None:
-            self.kernel.count_drop(f"{self.vxlan_dev.name}:no-bridge")
+            self._drop(skb, f"{self.vxlan_dev.name}:no-bridge")
             return
         port = bridge.forward(skb, ingress=self.vxlan_dev)
         peer = getattr(port, "peer", None)
         if peer is None:
-            self.kernel.count_drop(f"{bridge.name}:fdb-miss")
+            self._drop(skb, f"{bridge.name}:fdb-miss")
             return
         # netif_rx: into the per-CPU backlog, in the container end's name.
         skb.dev = peer
         peer.count_rx(skb)
         yield from transition_to_napi(self.kernel, skb, softnet.backlog)
+
+    def _drop(self, skb: SKBuff, site: str) -> None:
+        kernel = self.kernel
+        kernel.count_drop(site)
+        ledger = kernel.ledger
+        if ledger is not None:
+            w = skb.gro_segments
+            ledger.drop(site, w)
+            ledger.leave(w)
 
 
 class VxlanDevice(NetDevice):
@@ -104,6 +113,12 @@ class VxlanDevice(NetDevice):
                 telemetry = kernel.telemetry
                 if telemetry is not None:
                     telemetry.on_gro_merge(self.name)
+                ledger = kernel.ledger
+                if ledger is not None:
+                    # The absorbed segments are now counted through the
+                    # held super-skb's gro_segments (queued weight), so
+                    # this skb's in-processing weight moves there.
+                    ledger.leave(skb.gro_segments)
                 # The skb's packet now lives in the held super-skb's
                 # gro_list; the emptied metadata can be reused.
                 kernel.skb_pool.recycle(skb)

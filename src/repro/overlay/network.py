@@ -39,6 +39,12 @@ class Wire:
         self._busy_until: Dict[int, int] = {}
         self.packets = 0
         self.bytes = 0
+        #: Optional fault-injection hook ``(packet, receiver) -> bool``;
+        #: True drops the packet before it occupies the link (a lost
+        #: packet consumes no serialization time — the loss model is
+        #: "corrupted on the wire", discarded by the receiving PHY).
+        self.fault_hook: Optional[Callable[[Packet, Any], bool]] = None
+        self.fault_dropped = 0
 
     def attach(self, end_a: Any, end_b: Any) -> None:
         """Connect the two endpoints (each must have ``receive``)."""
@@ -61,6 +67,9 @@ class Wire:
             direction, receiver = 1, self._endpoints[0]
         else:
             raise ValueError(f"{sender!r} is not attached to this wire")
+        if self.fault_hook is not None and self.fault_hook(packet, receiver):
+            self.fault_dropped += 1
+            return
         serialization = int(packet.wire_len / self.costs.wire_bytes_per_ns)
         start = max(self.sim.now, self._busy_until.get(direction, 0))
         finish = start + serialization

@@ -40,6 +40,7 @@ from repro.bench.experiment import (
     run_instrumented_experiment,
     run_traced_experiment,
 )
+from repro.faults import FaultPlan
 from repro.kernel.config import KernelConfig
 from repro.kernel.costs import CostModel
 from repro.prism.mode import StackMode
@@ -143,6 +144,18 @@ class Scenario:
         Unknown names raise TypeError."""
         base = self._config.costs or CostModel()
         return self._replace(costs=base.replace(**knobs))
+
+    def with_faults(self,
+                    plan: Union["FaultPlan", str, None]) -> "Scenario":
+        """Attach a fault-injection plan (and its loss recovery).
+
+        Accepts a :class:`~repro.faults.plan.FaultPlan`, a compact spec
+        string (``"burst@80ms x2; loss:eth:0.01; retries=5"`` — see
+        :meth:`FaultPlan.parse`), or ``None`` to return to the loss-free
+        configuration."""
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan)
+        return self._replace(faults=plan)
 
     # ------------------------------------------------------------------
     # Execution

@@ -108,10 +108,21 @@ class ScheduledCall:
             return
         self._cancelled = True
         entry = self._entry
-        if entry[_FN] is not None:  # not yet executed
-            entry[_FN] = None
-            entry[_ARGS] = ()
-            self._sim._note_cancel()
+        if entry[_FN] is None:  # already executed (or reaped)
+            return
+        entry[_FN] = None
+        entry[_ARGS] = ()
+        sim = self._sim
+        # Eager reap when the entry heads a structure: pop it now instead
+        # of leaving a tombstone for the hot loop to skip.  Matters for
+        # the per-op retry timers of the loss-recovery layer, which are
+        # scheduled and cancelled once per completed request.
+        if sim._cur and sim._cur[0] is entry:
+            heappop(sim._cur)
+        elif sim._heap and sim._heap[0] is entry:
+            heappop(sim._heap)
+        else:
+            sim._note_cancel()
 
     def __repr__(self) -> str:
         fn = self._entry[_FN]

@@ -8,6 +8,7 @@ run is exactly reproducible from its seed.  The class wraps
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Sequence, TypeVar
 
@@ -27,9 +28,15 @@ class SeededRng:
         """Derive an independent child stream from this RNG and a label.
 
         Used so each traffic source gets its own stream and adding a new
-        source does not perturb existing ones.
+        source does not perturb existing ones.  The derivation is a
+        stable digest (not the builtin ``hash``, which Python salts per
+        process via ``PYTHONHASHSEED``) so forked streams are identical
+        across processes — required for the parallel experiment runner's
+        cache and for cross-process reproducibility of retry jitter.
         """
-        child_seed = hash((self.seed, label)) & 0x7FFF_FFFF_FFFF_FFFF
+        digest = hashlib.sha256(
+            f"{self.seed}\x1f{label}".encode()).digest()
+        child_seed = int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
         return SeededRng(child_seed)
 
     # ------------------------------------------------------------------

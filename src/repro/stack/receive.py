@@ -64,4 +64,9 @@ def _drop(kernel: "Kernel", netns: "NetNamespace", skb: SKBuff,
     kernel.count_drop(name)
     if kernel.tracer.has_subscribers(TracePoint.DROP):
         kernel.tracer.emit(TracePoint.DROP, queue=name, skb=skb)
+    ledger = kernel.ledger
+    if ledger is not None:
+        w = skb.gro_segments
+        ledger.drop(name, w)
+        ledger.leave(w)
     kernel.skb_pool.recycle(skb)

@@ -55,12 +55,23 @@ class UdpSocket:
     # ------------------------------------------------------------------
     def deliver(self, skb: SKBuff, from_cpu: "CpuCore") -> bool:
         """Enqueue *skb* and wake a blocked receiver.  False on drop."""
-        tracer = self.kernel.tracer
+        kernel = self.kernel
+        tracer = kernel.tracer
+        ledger = kernel.ledger
         if not self.rcvbuf.enqueue(skb):
-            self.kernel.count_drop(self.rcvbuf.name)
+            kernel.count_drop(self.rcvbuf.name)
             tracer.emit(TracePoint.DROP, queue=self.rcvbuf.name, skb=skb)
-            self.kernel.skb_pool.recycle(skb)  # rcvbuf overflow drop
+            if ledger is not None:
+                w = skb.gro_segments
+                ledger.drop(self.rcvbuf.name, w)
+                ledger.leave(w)
+            kernel.skb_pool.recycle(skb)  # rcvbuf overflow drop
             return False
+        if ledger is not None:
+            # Terminal for the packet ledger: the skb reached a socket.
+            w = skb.gro_segments
+            ledger.deliver(self.rcvbuf.name, w)
+            ledger.leave(w)
         self.delivered += 1
         self.delivered_bytes += skb.wire_len
         telemetry = self.kernel.telemetry

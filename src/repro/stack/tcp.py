@@ -97,6 +97,14 @@ class TcpEndpoint:
     # ------------------------------------------------------------------
     def receive_skb(self, skb: SKBuff, from_cpu: "CpuCore") -> bool:
         """Process all segments in *skb* (including GRO-merged ones)."""
+        ledger = self.kernel.ledger
+        if ledger is not None:
+            # Packet-ledger terminal: every wire packet in the skb has
+            # reached the endpoint.  Message-level rcvbuf drops below are
+            # a different (application) unit and tracked separately.
+            w = skb.gro_segments
+            ledger.deliver(self.rcvbuf.name, w)
+            ledger.leave(w)
         delivered_any = False
         for packet in self._iter_packets(skb):
             if self._receive_segment(packet, skb, from_cpu):

@@ -106,6 +106,25 @@ class KernelTelemetry:
         self._gro_segments = reg.counter(
             "repro_gro_merged_segments", "Segments held in GRO super-skbs",
             ("device",))
+        self._q_cleared = reg.counter(
+            "repro_queue_cleared", "Items discarded by explicit clear()",
+            ("queue",))
+
+        # --- fault-injection / loss-recovery families -----------------
+        # Scraped from ``kernel.faults`` (the installed FaultInjector)
+        # and any registered RecoveryStats; all-zero on loss-free runs.
+        self._fault_forced = reg.counter(
+            "repro_fault_forced", "Forced drops/events by fault site",
+            ("site",))
+        self._fault_events = reg.counter(
+            "repro_fault_events", "Fault-injector event totals", ("kind",))
+        self._recovery = reg.counter(
+            "repro_recovery_events", "Loss-recovery events per client",
+            ("client", "event"))
+        self._conservation = reg.gauge(
+            "repro_conservation",
+            "Packet-conservation ledger totals at collection time",
+            ("bucket",))
 
         # Per-name child caches so the per-batch hooks cost one dict
         # lookup, not a labels() tuple build.
@@ -119,6 +138,8 @@ class KernelTelemetry:
         self._watched_bridges: List[Any] = []
         self._watched_gro: List[Tuple[str, Any]] = []
         self._watched_overlays: List[Any] = []
+        self._watched_recovery: List[Any] = []
+        self._watched_injector: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Attach/detach (mirrors the tracer's subscribe discipline)
@@ -234,6 +255,20 @@ class KernelTelemetry:
                 for end in veth.devices():
                     self.watch_device(end)
 
+    def register_recovery(self, stats: Any) -> None:
+        """Export one :class:`~repro.faults.recovery.RecoveryStats` —
+        a client's loss-recovery accounting, scraped at collect time."""
+        if stats is not None and \
+                all(s is not stats for s in self._watched_recovery):
+            self._watched_recovery.append(stats)
+
+    def watch_faults(self, injector: Any) -> None:
+        """Scrape an explicit :class:`FaultInjector` at collect time.
+
+        Usually unnecessary: :meth:`collect` falls back to the injector
+        installed on the kernel (``kernel.faults``)."""
+        self._watched_injector = injector
+
     def register_meter(self, meter: "ThroughputMeter",
                        label: str = "") -> None:
         """Export one :class:`ThroughputMeter` as callback gauges.
@@ -277,6 +312,7 @@ class KernelTelemetry:
             self._q_max_depth.labels(queue.name).set(queue.max_depth)
             self._q_enqueued.labels(queue.name).set_total(queue.enqueued)
             self._q_dropped.labels(queue.name).set_total(queue.dropped)
+            self._q_cleared.labels(queue.name).set_total(queue.cleared)
         for device in self._watched_devices:
             self._dev_rx_packets.labels(device.name).set_total(
                 device.rx_packets)
@@ -292,6 +328,26 @@ class KernelTelemetry:
                 gro.merged_segments)
         if kernel.rps is not None:
             self._rps_steered.set_total(kernel.rps.steered)
+        for stats in self._watched_recovery:
+            for event in ("sent", "retries", "timeouts", "gave_up",
+                          "duplicates"):
+                self._recovery.labels(stats.name, event).set_total(
+                    getattr(stats, event))
+        injector = self._watched_injector
+        if injector is None:
+            injector = getattr(kernel, "faults", None)
+        if injector is not None:
+            for site, count in injector.stats.items():
+                self._fault_forced.labels(site).set_total(count)
+            self._fault_events.labels("bursts").set_total(
+                injector.bursts_fired)
+            self._fault_events.labels("burst_packets").set_total(
+                injector.burst_packets)
+            self._fault_events.labels("flaps").set_total(injector.flaps)
+            self._fault_events.labels("irqs_lost").set_total(
+                injector.irqs_lost)
+            for bucket, value in injector.ledger.totals().items():
+                self._conservation.labels(bucket).set(value)
         return self.registry
 
     def snapshot(self) -> Dict[str, Any]:

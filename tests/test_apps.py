@@ -193,3 +193,39 @@ class TestWebServer:
         with pytest.raises(ValueError):
             Wrk2Client(testbed.sim, testbed.client, testbed.overlay,
                        client_cont, "10.0.0.10", rate_rps=0)
+
+
+class TestRepeatRunDeterminism:
+    """Each client draws its op sequence from its own counter and its
+    own rng fork, so two in-process runs of the same config are
+    bit-identical — no hidden global state (itertools counters at module
+    scope, shared rng streams) leaks between runs."""
+
+    @pytest.mark.slow
+    def test_memcached_benchmark_repeats_identically(self):
+        from repro.bench.applications import (
+            AppBenchConfig,
+            run_memcached_benchmark,
+        )
+        config = AppBenchConfig(busy=False, duration_ns=80 * MS,
+                                warmup_ns=20 * MS)
+        first = run_memcached_benchmark(config)
+        second = run_memcached_benchmark(config)
+        assert first.completed == second.completed
+        assert first.throughput_per_sec == second.throughput_per_sec
+        assert first.latency == second.latency
+        assert first.drops == second.drops
+
+    @pytest.mark.slow
+    def test_webserver_benchmark_repeats_identically(self):
+        from repro.bench.applications import (
+            AppBenchConfig,
+            run_webserver_benchmark,
+        )
+        config = AppBenchConfig(busy=False, duration_ns=80 * MS,
+                                warmup_ns=20 * MS)
+        first = run_webserver_benchmark(config)
+        second = run_webserver_benchmark(config)
+        assert first.completed == second.completed
+        assert first.latency == second.latency
+        assert first.drops == second.drops

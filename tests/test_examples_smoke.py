@@ -6,6 +6,7 @@ with its module-level main().
 """
 
 import importlib.util
+import json
 import sys
 from pathlib import Path
 
@@ -28,7 +29,8 @@ def test_examples_directory_contents():
     names = {p.name for p in EXAMPLES.glob("*.py")}
     assert {"quickstart.py", "poll_order_trace.py",
             "memcached_tail_latency.py", "load_sweep.py",
-            "multilevel_priorities.py", "stage_timeline.py"} <= names
+            "multilevel_priorities.py", "stage_timeline.py",
+            "fault_demo.py"} <= names
 
 
 def test_poll_order_trace_runs(capsys):
@@ -45,6 +47,20 @@ def test_stage_timeline_runs(capsys):
     out = capsys.readouterr().out
     assert "#" in out
     assert "prism-sync" in out
+
+
+@pytest.mark.slow
+@pytest.mark.faults
+def test_fault_demo_runs(tmp_path, capsys):
+    module = load_example("fault_demo.py")
+    out = tmp_path / "fault_demo.report.json"
+    module.main(str(out))
+    stdout = capsys.readouterr().out
+    assert "balanced=True" in stdout
+    assert "gave_up=0" in stdout
+    report = json.loads(out.read_text())
+    assert report["conservation"]["residual"] == 0
+    assert report["faulted"]["replies"] > 0
 
 
 @pytest.mark.slow
