@@ -15,6 +15,16 @@ dedicated hardware instead.  With ``--gate PCT`` the script exits
 non-zero when the canonical headline metric regressed by more than
 PCT percent — a wide tripwire for "someone deoptimized the hot path",
 not a precision benchmark.
+
+When both runs recorded repeated-run samples
+(``canonical_<metric>_samples``, three or more each), the gate upgrades
+to a statistical test in the spirit of PASTRAMI: compare *medians* and
+fail only when the regression also makes the two runs statistically
+distinguishable — the current run's inter-quartile range lies entirely
+below the baseline's.  A median drop whose IQRs still overlap is
+reported as within measurement noise and does not fail the job.  Runs
+without samples (older BENCH files, ``repeats=1``) fall back to the
+single-number gate unchanged.
 """
 
 import argparse
@@ -91,8 +101,58 @@ def print_table(baseline, current, metric):
           "informational; only the wide `--gate` tripwire fails the job._")
 
 
+def quartiles(samples):
+    """(q1, median, q3) with linear interpolation."""
+    ordered = sorted(samples)
+    n = len(ordered)
+
+    def q(p):
+        k = (n - 1) * p
+        lo = int(k)
+        hi = min(lo + 1, n - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (k - lo)
+
+    return q(0.25), q(0.5), q(0.75)
+
+
+def check_gate_statistical(baseline, current, metric, gate_pct):
+    """Median + IQR-overlap gate over repeated-run samples.
+
+    Returns None when either run lacks enough samples (caller falls back
+    to the single-number gate), else the process exit code.
+    """
+    key = "canonical_" + metric + "_samples"
+    old_samples = baseline.get(key)
+    new_samples = current.get(key)
+    if not (isinstance(old_samples, list) and isinstance(new_samples, list)
+            and len(old_samples) >= 3 and len(new_samples) >= 3):
+        return None
+    old_q1, old_med, old_q3 = quartiles(old_samples)
+    new_q1, new_med, new_q3 = quartiles(new_samples)
+    delta_pct = (new_med - old_med) / old_med * 100 if old_med else 0.0
+    print()
+    print(f"gate (statistical): canonical `{baseline.get('canonical', '?')}` "
+          f"median {old_med:,.0f} [IQR {old_q1:,.0f}–{old_q3:,.0f}, "
+          f"n={len(old_samples)}] -> {new_med:,.0f} "
+          f"[IQR {new_q1:,.0f}–{new_q3:,.0f}, n={len(new_samples)}] "
+          f"({delta_pct:+.1f}%, budget -{gate_pct:.0f}%)")
+    regressed = delta_pct < -gate_pct
+    distinguishable = new_q3 < old_q1  # IQRs disjoint, current below
+    if regressed and distinguishable:
+        print(f"**FAIL: median regressed {-delta_pct:.1f}% and the runs "
+              f"are statistically distinguishable (disjoint IQRs)**")
+        return 1
+    if regressed:
+        print(f"median regressed {-delta_pct:.1f}% but the IQRs overlap — "
+              "within measurement noise, not gated")
+    return 0
+
+
 def check_gate(baseline, current, metric, gate_pct):
     """Non-zero exit when the canonical headline regressed past the gate."""
+    statistical = check_gate_statistical(baseline, current, metric, gate_pct)
+    if statistical is not None:
+        return statistical
     headline = "canonical_" + metric
     old = baseline.get(headline)
     new = current.get(headline)

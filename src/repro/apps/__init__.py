@@ -9,9 +9,13 @@
   wrk2-style constant-rate single-connection client with
   coordinated-omission-corrected latency (Fig. 13);
 - :mod:`~repro.apps.remote` — client-machine plumbing: request builders
-  and TCP reassembly for the coarse remote host.
+  and TCP reassembly for the coarse remote host;
+- :mod:`~repro.apps.aggregate` — closed-loop client *populations*: all
+  users of one (container, priority) flow class as a single aggregated
+  arrival process with exact per-class accounting.
 """
 
+from repro.apps.aggregate import AggregatedClientPopulation, FlowClassLedger
 from repro.apps.memcached import MemaslapClient, MemcachedServer
 from repro.apps.remote import RemoteRequestSender, RemoteTcpReassembler
 from repro.apps.sockperf import (
@@ -24,6 +28,8 @@ from repro.apps.sockperf import (
 from repro.apps.webserver import NginxServer, Wrk2Client
 
 __all__ = [
+    "AggregatedClientPopulation",
+    "FlowClassLedger",
     "MemaslapClient",
     "MemcachedServer",
     "NginxServer",

@@ -1,0 +1,215 @@
+"""Flow-class aggregation: closed-loop client *populations*.
+
+The ROADMAP north-star asks for "millions of users" scenarios.  Modeling
+each user as a simulation process (a generator plus per-request timer
+objects) makes user count an *object* count, which caps scenarios at
+whatever the event loop can hold.  :class:`AggregatedClientPopulation`
+models all users of one (container, priority) flow class as a single
+aggregated closed-loop process:
+
+- a **credit pool** bounds outstanding requests at the population size
+  (each user has at most one request in flight — closed loop);
+- replies and timeouts **reclaim credits** and schedule the user's next
+  request after a think time, so event count scales with *packet rate*,
+  not user count;
+- timeouts use a single FIFO scan process (requests expire in send
+  order, because the timeout is constant), not a timer per request;
+- :class:`FlowClassLedger` keeps exact per-class accounting with the
+  invariant ``sent == replies + timed_out + outstanding`` checked on
+  demand and at finalize.
+
+The population is transport-agnostic: it drives a ``send(seq, now)``
+callback supplied by the harness (locally a
+:class:`~repro.apps.remote.RemoteRequestSender`, in the sharded executor
+a cross-shard outbox append) and is fed replies via :meth:`on_reply`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.metrics.recorder import LatencyRecorder
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+from repro.sim.units import SEC
+
+__all__ = ["FlowClassLedger", "AggregatedClientPopulation"]
+
+
+class FlowClassLedger:
+    """Exact accounting for one aggregated flow class.
+
+    Every request is in exactly one of three states once sent: answered
+    (``replies``), expired (``timed_out``), or in flight
+    (``outstanding``).  Late replies — arriving after their request
+    already timed out — are counted separately and do not disturb the
+    invariant (their credit was reclaimed by the timeout).
+    """
+
+    def __init__(self, label: str, users: int) -> None:
+        self.label = label
+        self.users = users
+        self.sent = 0
+        self.replies = 0
+        self.timed_out = 0
+        self.outstanding = 0
+        self.late_replies = 0
+
+    def check(self) -> None:
+        """Raise ``RuntimeError`` when the class books don't balance."""
+        if self.sent != self.replies + self.timed_out + self.outstanding:
+            raise RuntimeError(
+                f"flow class {self.label!r} imbalance: sent={self.sent} != "
+                f"replies={self.replies} + timed_out={self.timed_out} + "
+                f"outstanding={self.outstanding}")
+        if not (0 <= self.outstanding <= self.users):
+            raise RuntimeError(
+                f"flow class {self.label!r}: outstanding={self.outstanding} "
+                f"outside [0, users={self.users}]")
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "label": self.label,
+            "users": self.users,
+            "sent": self.sent,
+            "replies": self.replies,
+            "timed_out": self.timed_out,
+            "outstanding": self.outstanding,
+            "late_replies": self.late_replies,
+        }
+
+
+class AggregatedClientPopulation:
+    """*users* closed-loop clients of one flow class, as one process.
+
+    Lifecycle of one logical user: send a request, wait for the reply
+    (record its latency) or for ``timeout_ns`` to pass, think for
+    ``think_ns`` (with a small seeded jitter so the population
+    desynchronizes), send the next request.  The launcher ramps the
+    population up over ``ramp_ns`` so the first window isn't a
+    synchronized burst of *users* packets.
+    """
+
+    def __init__(self, sim: Simulator, send: Callable[[int, int], None], *,
+                 users: int, think_ns: int, timeout_ns: int,
+                 rng: SeededRng, label: str,
+                 recorder: Optional[LatencyRecorder] = None,
+                 ramp_ns: Optional[int] = None,
+                 jitter_frac: float = 0.1) -> None:
+        if users <= 0:
+            raise ValueError("users must be positive")
+        if think_ns <= 0 or timeout_ns <= 0:
+            raise ValueError("think_ns and timeout_ns must be positive")
+        self.sim = sim
+        self._send = send
+        self.label = label
+        self.think_ns = think_ns
+        self.timeout_ns = timeout_ns
+        self.jitter_frac = jitter_frac
+        self.rng = rng
+        self.recorder = recorder
+        self.ledger = FlowClassLedger(label, users)
+        self._next_seq = 1
+        #: seq -> sent_at for in-flight requests (bounded by *users*).
+        self._pending: Dict[int, int] = {}
+        #: FIFO of (deadline_ns, seq): constant timeout means requests
+        #: expire in send order, so one scan process replaces per-request
+        #: timers.  Entries for already-answered seqs are skipped lazily.
+        self._expiry: Deque[Tuple[int, int]] = deque()
+        self._reaper_armed = False
+        self.ramp_ns = think_ns if ramp_ns is None else ramp_ns
+        self._launcher = sim.process(self._ramp_up(),
+                                     name=f"population:{label}")
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _ramp_up(self):
+        """Stagger the population's first requests across the ramp."""
+        users = self.ledger.users
+        interval = self.ramp_ns / users
+        next_send = float(self.sim.now)
+        for _ in range(users):
+            self._send_one()
+            next_send += interval
+            delay = max(0, int(next_send) - self.sim.now)
+            if delay:
+                yield delay
+
+    def _send_one(self) -> None:
+        seq = self._next_seq
+        self._next_seq += 1
+        now = self.sim.now
+        self._pending[seq] = now
+        self.ledger.sent += 1
+        self.ledger.outstanding += 1
+        self._expiry.append((now + self.timeout_ns, seq))
+        self._arm_reaper()
+        self._send(seq, now)
+
+    def _think_then_send(self) -> None:
+        """Schedule the freed user's next request after a jittered think."""
+        think = self.think_ns
+        if self.jitter_frac > 0:
+            span = int(think * self.jitter_frac)
+            if span > 0:
+                think += self.rng.uniform_int(-span, span)
+        self.sim.schedule(max(1, think), self._send_one)
+
+    # ------------------------------------------------------------------
+    # Replies and timeouts
+    # ------------------------------------------------------------------
+    def on_reply(self, seq: int, *, at_ns: Optional[int] = None) -> None:
+        """Credit one reply; late replies (post-timeout) only counted."""
+        now = self.sim.now if at_ns is None else at_ns
+        sent_at = self._pending.pop(seq, None)
+        if sent_at is None:
+            self.ledger.late_replies += 1
+            return
+        self.ledger.replies += 1
+        self.ledger.outstanding -= 1
+        if self.recorder is not None:
+            # Closed-loop request/response: one-way latency is RTT/2,
+            # matching the sockperf convention used everywhere else.
+            self.recorder.record((now - sent_at) // 2, at_ns=now)
+        self._think_then_send()
+
+    def _arm_reaper(self) -> None:
+        if self._reaper_armed or not self._expiry:
+            return
+        deadline = self._expiry[0][0]
+        self._reaper_armed = True
+        self.sim.schedule_at(max(deadline, self.sim.now + 1), self._reap)
+
+    def _reap(self) -> None:
+        self._reaper_armed = False
+        now = self.sim.now
+        while self._expiry and self._expiry[0][0] <= now:
+            _deadline, seq = self._expiry.popleft()
+            if seq not in self._pending:
+                continue  # answered before expiring
+            del self._pending[seq]
+            self.ledger.timed_out += 1
+            self.ledger.outstanding -= 1
+            # The user gives up on this request and moves on — the
+            # credit is reclaimed, so a dropped packet can never wedge
+            # the closed loop (the PR 5 single-drop deadlock).
+            self._think_then_send()
+        self._arm_reaper()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def offered_rate_pps(self) -> float:
+        """Steady-state offered load if every request completed by think."""
+        return self.ledger.users * SEC / self.think_ns
+
+    def stop(self) -> None:
+        self._launcher.kill()
+
+    def __repr__(self) -> str:
+        led = self.ledger
+        return (f"<AggregatedClientPopulation {self.label!r} "
+                f"users={led.users} sent={led.sent} out={led.outstanding}>")

@@ -19,6 +19,7 @@ from repro.apps.sockperf import (
     SockperfUdpFlood,
     SockperfUdpServer,
 )
+from repro.bench.cell import ExperimentCell
 from repro.bench.testbed import Testbed, build_testbed
 from repro.faults import FaultInjector, FaultPlan, merge_recovery
 from repro.kernel.config import KernelConfig
@@ -449,75 +450,14 @@ def _run_experiment(config: ExperimentConfig, *,
     *tracer* (when given) becomes the server kernel's tracer; *attach*
     runs after the testbed is built and before the simulation starts —
     the traced runner uses it to hang a :class:`KernelObserver` on.
+
+    Build/advance/finalize live on :class:`~repro.bench.cell.ExperimentCell`
+    so the sharded executor can drive the same cell in lookahead windows;
+    one straight run to the end is the degenerate single-window case.
     """
-    if config.network not in ("overlay", "host"):
-        raise ValueError(f"unknown network type {config.network!r}")
-    testbed = build_testbed(seed=config.seed, costs=config.costs,
-                            config=config.kernel_config, mode=config.mode,
-                            tracer=tracer)
-    injector: Optional[FaultInjector] = None
-    if config.faults is not None:
-        injector = FaultInjector(config.faults, testbed).install()
-    if attach is not None:
-        attach(testbed)
-    sim = testbed.sim
-    recorder = LatencyRecorder("fg", warmup_until_ns=config.warmup_ns)
-
-    fg_client = None
-    if config.network == "overlay":
-        fg_meter, bg_meter, counters, fg_client = _overlay_setup(
-            testbed, config, recorder)
-    else:
-        fg_meter, bg_meter, counters = _host_network_setup(
-            testbed, config, recorder)
-
-    packet_core = testbed.server.kernel.cpu(0)
-    sampler = CpuUtilizationSampler(packet_core, lambda: sim.now)
-    telemetry = testbed.server.kernel.telemetry
-    if telemetry is not None:
-        # Metered run: export the harness's own accounting through the
-        # shared registry (no duplicated bookkeeping — callback gauges).
-        telemetry.bind_run(sampler=sampler, meters=(fg_meter, bg_meter))
-        telemetry.register_recovery(getattr(fg_client, "recovery", None))
-
-    sim.run(until=config.warmup_ns)
-    sampler.mark()
-    sim.run(until=config.warmup_ns + config.duration_ns)
-
-    window = config.duration_ns
-    # Select the counter source by network type: host runs count in the
-    # local `counters` dict, overlay runs count in the sockperf client.
-    # (Selecting by truthiness would silently fall through on a host run
-    # that legitimately sent zero packets.)
-    if config.network == "host":
-        fg_sent = counters["fg_sent"]
-        fg_replies = counters["fg_replies"]
-    else:
-        fg_sent = getattr(fg_client, "sent", 0)
-        fg_replies = getattr(fg_client, "replies", 0)
-    result = ExperimentResult(
-        config=config,
-        fg_latency=recorder.summary(),
-        fg_samples_ns=list(recorder.samples_ns),
-        fg_sent=fg_sent,
-        fg_replies=fg_replies,
-        fg_delivered_pps=fg_meter.count * 1e9 / window,
-        bg_delivered_pps=bg_meter.count * 1e9 / window,
-        cpu_utilization=sampler.utilization(),
-        softirq_fraction=sampler.softirq_fraction(),
-        drops=dict(testbed.server.kernel.drops),
-    )
-    if injector is not None:
-        result.fault_summary = injector.summary()
-        result.conservation = injector.conservation_report()
-        stats = []
-        recovery = getattr(fg_client, "recovery", None)
-        if recovery is not None:
-            stats.append(recovery)
-        totals: Dict[str, Any] = merge_recovery(stats)
-        totals["clients"] = [s.to_dict() for s in stats]
-        result.recovery = totals
-    return result
+    cell = ExperimentCell(config, tracer=tracer, attach=attach)
+    cell.run_to(cell.end_ns)
+    return cell.finalize()
 
 
 # ----------------------------------------------------------------------

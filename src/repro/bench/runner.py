@@ -192,9 +192,20 @@ class BatchReport:
 
 
 def _resolve_jobs(jobs: Optional[int]) -> int:
+    """Effective worker count: explicit jobs capped at the CPU count.
+
+    Experiment workers are CPU-bound simulations — running more of them
+    than cores buys nothing and actively harms a box that is *also*
+    running shard workers (``--shards``, :mod:`repro.shard`): both fan
+    out over processes, so their product should stay at or under the
+    core count.  ``REPRO_BENCH_JOBS`` (read by the perf harness and CI)
+    and explicit ``jobs=`` both pass through here, so neither can
+    oversubscribe.  ``jobs<=0``/``None`` means one worker per CPU.
+    """
+    cpus = os.cpu_count() or 1
     if jobs is None or jobs <= 0:
-        return os.cpu_count() or 1
-    return jobs
+        return cpus
+    return min(jobs, cpus)
 
 
 def run_batch(configs: Sequence[ExperimentConfig], *,

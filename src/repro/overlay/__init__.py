@@ -8,7 +8,9 @@
   socket/thread helpers;
 - :mod:`~repro.overlay.topology` — the VXLAN overlay fabric: bridge,
   vxlan device, container registration, encapsulation info (the Docker
-  overlay control plane's job).
+  overlay control plane's job);
+- :mod:`~repro.overlay.wirefmt` — the compact cross-shard wire format
+  used by the space-parallel cluster executor.
 """
 
 from repro.overlay.container import Container
@@ -20,6 +22,7 @@ from repro.overlay.topology import (
     OverlayNetwork,
     register_remote_container,
 )
+from repro.overlay.wirefmt import WirePacket, from_wire, to_wire, wire_sort_key
 
 __all__ = [
     "Container",
@@ -30,5 +33,9 @@ __all__ = [
     "RemoteContainer",
     "RemoteHost",
     "Wire",
+    "WirePacket",
+    "from_wire",
     "register_remote_container",
+    "to_wire",
+    "wire_sort_key",
 ]

@@ -1,0 +1,92 @@
+"""Cross-shard wire format for space-parallel simulation.
+
+When the cluster executor partitions hosts across worker processes, a
+packet leaving one host for another must cross a process boundary.
+Shipping live :class:`~repro.packet.packet.Packet` objects would drag
+the whole object graph (payload records, header caches, encap chains)
+through pickle and — worse — make the bytes that cross the pipe depend
+on simulator internals.  Instead, cross-shard traffic travels as
+:class:`WirePacket`: a frozen, flow-level record holding exactly the
+fields the destination cell needs to *rematerialize* the packet locally
+(via its own cached header builders) plus the fields the executor needs
+for deterministic routing and conservation accounting.
+
+Determinism contract: the executor collects every shard's outbox for a
+window, concatenates them, and sorts by :func:`wire_sort_key` before
+routing.  The key is a pure function of simulation-visible fields, so
+the injection order at any destination is independent of how hosts were
+partitioned into shards — the basis for "same digest at any shard
+count".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["WirePacket", "wire_sort_key", "to_wire", "from_wire"]
+
+#: Bump when the tuple layout changes; workers refuse mismatched frames.
+WIRE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WirePacket:
+    """One flow-level packet crossing a shard boundary.
+
+    ``arrival_ns`` is the virtual time the packet reaches the
+    destination host's NIC (fabric serialization + propagation already
+    applied by the sender-side fabric model); the conservative-lookahead
+    invariant guarantees it is strictly after the barrier at which the
+    record is exchanged.
+    """
+
+    src_host: int        #: index of the sending host
+    dst_host: int        #: index of the receiving host
+    cls: str             #: flow class: "hi" (latency) or "lo" (flood)
+    kind: str            #: "req" (client -> server) or "reply"
+    seq: int             #: per-(src,dst,cls) sequence number
+    departure_ns: int    #: virtual time the packet left the source host
+    arrival_ns: int      #: virtual time it reaches the destination NIC
+    payload_len: int     #: application payload bytes
+    sent_at: int         #: original send timestamp (latency accounting)
+
+    def validate(self) -> None:
+        if self.arrival_ns < self.departure_ns:
+            raise ValueError(
+                f"wire packet arrives at {self.arrival_ns} before it "
+                f"departs at {self.departure_ns}")
+        if self.src_host == self.dst_host:
+            raise ValueError(
+                f"host {self.src_host} packet routed to itself")
+
+
+def wire_sort_key(wp: WirePacket) -> Tuple[int, int, int, str, str, int]:
+    """Total order over cross-shard packets, partition-independent.
+
+    Arrival time first (simulation causality), then stable flow
+    identity fields to break ties deterministically.  ``seq`` last so
+    same-flow packets stay in send order.
+    """
+    return (wp.arrival_ns, wp.src_host, wp.dst_host, wp.cls, wp.kind, wp.seq)
+
+
+def to_wire(wp: WirePacket) -> tuple:
+    """Flatten to a plain tuple (cheap to pickle across worker pipes)."""
+    return (WIRE_VERSION, wp.src_host, wp.dst_host, wp.cls, wp.kind,
+            wp.seq, wp.departure_ns, wp.arrival_ns, wp.payload_len,
+            wp.sent_at)
+
+
+def from_wire(frame: tuple) -> WirePacket:
+    """Inverse of :func:`to_wire`; checks the version tag."""
+    if not frame or frame[0] != WIRE_VERSION:
+        raise ValueError(f"bad wire frame version: {frame[:1]!r}")
+    (_v, src_host, dst_host, cls, kind, seq, departure_ns, arrival_ns,
+     payload_len, sent_at) = frame
+    wp = WirePacket(src_host=src_host, dst_host=dst_host, cls=cls,
+                    kind=kind, seq=seq, departure_ns=departure_ns,
+                    arrival_ns=arrival_ns, payload_len=payload_len,
+                    sent_at=sent_at)
+    wp.validate()
+    return wp

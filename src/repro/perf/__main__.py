@@ -7,6 +7,7 @@ Usage::
     python -m repro.perf --engine-only
     python -m repro.perf --experiments-only
     python -m repro.perf --packetpath-only
+    python -m repro.perf --shard-only     # space-parallel scaling suite
     python -m repro.perf --label fastlane # tag the recorded run
     python -m repro.perf --profile prof.pstats  # cProfile the canonical cell
     python -m repro.perf --telemetry-dir out/   # metered+profiled canonical
@@ -37,10 +38,12 @@ from repro.perf.packet_bench import (
     packet_config,
     run_packet_suite,
 )
+from repro.perf.shard_bench import run_shard_suite
 
 ENGINE_FILE = "BENCH_engine.json"
 EXPERIMENTS_FILE = "BENCH_experiments.json"
 PACKETPATH_FILE = "BENCH_packetpath.json"
+SHARD_FILE = "BENCH_shard.json"
 
 
 def _load(path: Path) -> Dict[str, object]:
@@ -140,6 +143,7 @@ def main(argv=None) -> int:
     parser.add_argument("--engine-only", action="store_true")
     parser.add_argument("--experiments-only", action="store_true")
     parser.add_argument("--packetpath-only", action="store_true")
+    parser.add_argument("--shard-only", action="store_true")
     parser.add_argument("--jobs", type=int, default=4,
                         help="parallel worker count for the experiment suite")
     parser.add_argument("--label", default=None,
@@ -157,10 +161,11 @@ def main(argv=None) -> int:
                              "speedscope artifacts into DIR")
     args = parser.parse_args(argv)
     only_flags = [args.engine_only, args.experiments_only,
-                  args.packetpath_only]
+                  args.packetpath_only, args.shard_only]
     if sum(only_flags) > 1:
-        parser.error("--engine-only/--experiments-only/--packetpath-only "
-                     "are mutually exclusive (omit all to run everything)")
+        parser.error("--engine-only/--experiments-only/--packetpath-only/"
+                     "--shard-only are mutually exclusive (omit all to run "
+                     "everything)")
 
     if args.profile is not None:
         _profile(Path(args.profile), quick=args.quick)
@@ -171,9 +176,15 @@ def main(argv=None) -> int:
         return 0
 
     out_dir = Path(args.out_dir)
-    run_engine = not (args.experiments_only or args.packetpath_only)
-    run_experiments = not (args.engine_only or args.packetpath_only)
-    run_packetpath = not (args.engine_only or args.experiments_only)
+    others_only = (args.experiments_only or args.packetpath_only
+                   or args.shard_only)
+    run_engine = not others_only
+    run_experiments = not (args.engine_only or args.packetpath_only
+                           or args.shard_only)
+    run_packetpath = not (args.engine_only or args.experiments_only
+                          or args.shard_only)
+    run_shards = not (args.engine_only or args.experiments_only
+                      or args.packetpath_only)
     ok = True
 
     if run_engine:
@@ -202,6 +213,24 @@ def main(argv=None) -> int:
         for name, stats in suite["workloads"].items():
             print(f"  {name:28s} {stats['packets_per_sec']:>12,.0f} pkt/s "
                   f"({stats['seconds'] * 1e3:.0f} ms)")
+
+    if run_shards:
+        suite = run_shard_suite(quick=args.quick)
+        run = {**_meta(args.label, args.quick), **suite}
+        run = _append_run(out_dir / SHARD_FILE, run, "canonical_speedup_x4")
+        print(f"shards: {suite['canonical']} on {suite['cores']} core(s) | "
+              f"4-shard speedup {suite['canonical_speedup_x4']:.2f}x | "
+              f"digests identical: {suite['digests_identical']} | "
+              f"conservation exact: {suite['conservation_exact']}")
+        for name, stats in suite["workloads"].items():
+            print(f"  {name:10s} run {stats['run_s']:>7.2f}s  "
+                  f"{stats['speedup_vs_1shard']:.2f}x vs 1 shard  "
+                  f"(efficiency {stats['parallel_efficiency']:.2f}, "
+                  f"sent {stats['cross_sent']})")
+        if not (suite["digests_identical"] and suite["conservation_exact"]):
+            print("ERROR: shard determinism or conservation broken",
+                  file=sys.stderr)
+            ok = False
 
     if run_experiments:
         suite = run_experiment_suite(quick=args.quick, jobs=args.jobs)

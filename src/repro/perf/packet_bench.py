@@ -80,8 +80,11 @@ def _count_packets(result) -> int:
 
 
 def run_packet_workload(name: str, *, quick: bool = False,
-                        repeats: int = 2) -> Dict[str, object]:
+                        repeats: int = 3) -> Dict[str, object]:
     """Run one workload *repeats* times (plus a warm-up) — best run wins.
+
+    Three repeats is the floor for the statistical gate in
+    ``bench_delta.py`` (quartiles need >= 3 samples per side).
 
     Single process, no disk cache: this measures the simulation itself,
     not the runner around it.
@@ -93,6 +96,7 @@ def run_packet_workload(name: str, *, quick: bool = False,
     best_seconds = float("inf")
     packets = 0
     digest = ""
+    samples = []
     for _ in range(max(1, repeats)):
         started = time.perf_counter()
         result = run_experiment(config)
@@ -100,16 +104,21 @@ def run_packet_workload(name: str, *, quick: bool = False,
         best_seconds = min(best_seconds, seconds)
         packets = _count_packets(result)
         digest = result_digest(result)
+        samples.append(packets / seconds)
     return {
         "packets": float(packets),
         "seconds": best_seconds,
         "packets_per_sec": packets / best_seconds,
+        #: Every repeat's throughput, for the statistical (median + IQR)
+        #: regression gate in bench_delta.py — single-number comparisons
+        #: of noisy runs gate on luck, not on the code.
+        "packets_per_sec_samples": samples,
         "digest": digest,
     }
 
 
 def run_packet_suite(*, quick: bool = False,
-                     repeats: int = 2) -> Dict[str, object]:
+                     repeats: int = 3) -> Dict[str, object]:
     """Run every packet-path workload; the canonical one is the headline."""
     workloads: Dict[str, Dict[str, object]] = {}
     for name in PACKET_WORKLOADS:
@@ -119,5 +128,7 @@ def run_packet_suite(*, quick: bool = False,
         "canonical": CANONICAL_PACKET,
         "canonical_packets_per_sec":
             workloads[CANONICAL_PACKET]["packets_per_sec"],
+        "canonical_packets_per_sec_samples":
+            workloads[CANONICAL_PACKET]["packets_per_sec_samples"],
         "workloads": workloads,
     }

@@ -1,0 +1,99 @@
+"""Shard-scaling suite — wall-clock speedup of the space-parallel executor.
+
+Runs one canonical 16-host cluster scenario (aggregated closed-loop
+populations between every host pair) at 1/2/4/8 shards and records, per
+shard count: wall-clock build/run seconds, the merged result digest,
+cross-fabric conservation counters, and speedup vs the 1-shard run.
+
+Honesty contract: the recorded ``cores`` field is the machine's CPU
+count and ``parallel_efficiency`` is ``speedup / min(shards, cores)``.
+Shards are real OS processes, so wall-clock speedup is bounded by
+physical cores — on a 1-core machine every multi-shard run *loses* to
+1 shard (pure IPC overhead) and the suite records exactly that.  The
+determinism and conservation columns are hardware-independent: digests
+must match at every shard count and the fabric books must balance, or
+the suite fails.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+from repro.shard.cluster import ClusterConfig, cluster_digest
+from repro.shard.executor import run_cluster
+from repro.sim.units import MS
+
+__all__ = ["CANONICAL_SHARD", "shard_config", "run_shard_suite"]
+
+CANONICAL_SHARD = "cluster-16h-hi-lo"
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def shard_config(*, quick: bool = False) -> ClusterConfig:
+    """The canonical 16-host scaling scenario (10⁵ aggregated users)."""
+    if quick:
+        return ClusterConfig(
+            hosts=16, users=10_000, hi_fraction=0.25,
+            think_ns=int(20 * MS), timeout_ns=int(100 * MS),
+            duration_ns=int(10 * MS), warmup_ns=int(2.5 * MS))
+    return ClusterConfig(
+        hosts=16, users=100_000, hi_fraction=0.25,
+        think_ns=int(50 * MS), timeout_ns=int(200 * MS),
+        duration_ns=int(40 * MS), warmup_ns=int(10 * MS))
+
+
+def run_shard_suite(*, quick: bool = False,
+                    shard_counts=SHARD_COUNTS) -> Dict[str, object]:
+    """Run the canonical scenario at every shard count; one suite dict."""
+    config = shard_config(quick=quick)
+    cores = os.cpu_count() or 1
+    workloads: Dict[str, Dict[str, object]] = {}
+    base_digest: Optional[str] = None
+    base_run_s: Optional[float] = None
+    digests_identical = True
+    conservation_exact = True
+    for shards in shard_counts:
+        start = time.perf_counter()
+        result = run_cluster(config, shards=shards)
+        total_s = time.perf_counter() - start
+        digest = cluster_digest(result)
+        cons = result.conservation
+        if base_digest is None:
+            base_digest = digest
+            base_run_s = result.timing["run_s"]
+        digests_identical &= digest == base_digest
+        conservation_exact &= bool(cons["exact"])
+        speedup = base_run_s / result.timing["run_s"]
+        workloads[f"shards{shards}"] = {
+            "shards": result.shards,
+            "processes": result.timing["processes"],
+            "build_s": result.timing["build_s"],
+            "run_s": result.timing["run_s"],
+            "total_s": total_s,
+            "speedup_vs_1shard": speedup,
+            "parallel_efficiency": speedup / min(shards, cores),
+            "digest": digest,
+            "cross_sent": cons["cross_sent"],
+            "cross_injected": cons["cross_injected"],
+            "cross_in_flight_fabric": cons["cross_in_flight_fabric"],
+            "windows": cons["windows"],
+            "conservation_exact": cons["exact"],
+        }
+    speedup_x4 = workloads.get("shards4", {}).get("speedup_vs_1shard", 0.0)
+    return {
+        "canonical": CANONICAL_SHARD,
+        "cores": cores,
+        "hosts": config.hosts,
+        "users": config.users,
+        "duration_ns": config.duration_ns,
+        "lookahead_ns": config.fabric_latency_ns,
+        "workloads": workloads,
+        "canonical_speedup_x4": speedup_x4,
+        "digests_identical": digests_identical,
+        "conservation_exact": conservation_exact,
+        #: The ISSUE target (≥3x at 4 shards) needs ≥4 physical cores;
+        #: recorded so readers can tell "didn't scale" from "couldn't".
+        "speedup_target_met": bool(speedup_x4 >= 3.0),
+    }

@@ -48,7 +48,7 @@ from repro.prism.mode import StackMode
 if TYPE_CHECKING:  # pragma: no cover
     from pathlib import Path
 
-__all__ = ["Scenario", "run_scenarios"]
+__all__ = ["Scenario", "ClusterScenario", "run_scenarios"]
 
 _FG_KINDS = ("pingpong", "flood")
 
@@ -183,6 +183,23 @@ class Scenario:
         return run_instrumented_experiment(self._config, options)
 
     # ------------------------------------------------------------------
+    # Cluster scenarios
+    # ------------------------------------------------------------------
+    @staticmethod
+    def cluster(hosts: int = 4, **knobs: object) -> "ClusterScenario":
+        """An N-host space-parallel cluster scenario (sharded execution).
+
+        Returns a :class:`ClusterScenario`; knobs forward to its
+        constructor (``users=``, ``mode=``, ``seed=``, …)::
+
+            result = (Scenario.cluster(hosts=16)
+                      .users(100_000, hi_fraction=0.25)
+                      .shards(4)
+                      .run())
+        """
+        return ClusterScenario(hosts, **knobs)
+
+    # ------------------------------------------------------------------
     def label(self) -> str:
         return self._config.label()
 
@@ -195,6 +212,110 @@ class Scenario:
 
     def __repr__(self) -> str:
         return f"Scenario({self._config!r})"
+
+
+class ClusterScenario:
+    """A fluent, immutable builder for an N-host sharded cluster run.
+
+    Wraps :class:`~repro.shard.cluster.ClusterConfig` the way
+    :class:`Scenario` wraps ``ExperimentConfig``.  The shard count is
+    *execution shape*, not scenario identity: it is carried alongside
+    the config and never changes the result digest.
+    """
+
+    __slots__ = ("_config", "_shards")
+
+    def __init__(self, hosts: int = 4, *,
+                 mode: Union[StackMode, str] = StackMode.VANILLA,
+                 seed: int = 0, config: object = None,
+                 shards: int = 1, **knobs: object) -> None:
+        from repro.shard.cluster import ClusterConfig  # local, avoids cycle
+
+        self._shards = int(shards)
+        if config is not None:
+            self._config = config
+            return
+        if isinstance(mode, str):
+            mode = StackMode.parse(mode)
+        self._config = ClusterConfig(hosts=hosts, mode=mode, seed=seed,
+                                     **knobs)
+
+    def _replace(self, **changes: object) -> "ClusterScenario":
+        return ClusterScenario(
+            config=dataclasses.replace(self._config, **changes),
+            shards=self._shards)
+
+    def users(self, users: int, *,
+              hi_fraction: Optional[float] = None,
+              think_ns: Optional[int] = None,
+              timeout_ns: Optional[int] = None) -> "ClusterScenario":
+        """Set the aggregated closed-loop population and its behavior."""
+        changes: dict = {"users": int(users)}
+        if hi_fraction is not None:
+            changes["hi_fraction"] = float(hi_fraction)
+        if think_ns is not None:
+            changes["think_ns"] = int(think_ns)
+        if timeout_ns is not None:
+            changes["timeout_ns"] = int(timeout_ns)
+        return self._replace(**changes)
+
+    def timing(self, *, duration_ns: Optional[int] = None,
+               warmup_ns: Optional[int] = None,
+               seed: Optional[int] = None) -> "ClusterScenario":
+        changes: dict = {}
+        if duration_ns is not None:
+            changes["duration_ns"] = int(duration_ns)
+        if warmup_ns is not None:
+            changes["warmup_ns"] = int(warmup_ns)
+        if seed is not None:
+            changes["seed"] = int(seed)
+        return self._replace(**changes) if changes else self
+
+    def mode(self, mode: Union[StackMode, str]) -> "ClusterScenario":
+        if isinstance(mode, str):
+            mode = StackMode.parse(mode)
+        return self._replace(mode=mode)
+
+    def fabric(self, *, latency_ns: Optional[int] = None,
+               bytes_per_ns: Optional[float] = None) -> "ClusterScenario":
+        """Inter-host fabric parameters; the latency is also the
+        conservative lookahead horizon (larger ⇒ fewer barriers)."""
+        changes: dict = {}
+        if latency_ns is not None:
+            changes["fabric_latency_ns"] = int(latency_ns)
+        if bytes_per_ns is not None:
+            changes["fabric_bytes_per_ns"] = float(bytes_per_ns)
+        return self._replace(**changes) if changes else self
+
+    def background(self, rate_pps: float) -> "ClusterScenario":
+        """Per-host local one-way background flood."""
+        return self._replace(local_bg_pps=float(rate_pps))
+
+    def with_faults(self,
+                    plan: Union["FaultPlan", str, None]) -> "ClusterScenario":
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan)
+        return self._replace(faults=plan)
+
+    def shards(self, shards: int) -> "ClusterScenario":
+        """How many worker processes to partition the hosts across."""
+        out = ClusterScenario(config=self._config, shards=int(shards))
+        return out
+
+    def build(self):
+        """The frozen :class:`ClusterConfig` this scenario describes."""
+        return self._config
+
+    def run(self, *, processes: Optional[bool] = None):
+        """Run across the configured shards; returns a
+        :class:`~repro.shard.cluster.ClusterResult`."""
+        from repro.shard.executor import run_cluster  # local, avoids cycle
+
+        return run_cluster(self._config, shards=self._shards,
+                           processes=processes)
+
+    def __repr__(self) -> str:
+        return f"ClusterScenario({self._config!r}, shards={self._shards})"
 
 
 def run_scenarios(scenarios: Iterable[Union[Scenario, ExperimentConfig]], *,

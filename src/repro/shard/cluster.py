@@ -1,0 +1,180 @@
+"""Cluster scenario description and merged result (space-parallel runs).
+
+A :class:`ClusterConfig` describes an N-host scenario: every host runs a
+fully simulated server (the same kernel/stack under test as the
+two-machine testbed) *and* originates aggregated closed-loop client
+populations toward every other host, split into a high-priority ("hi")
+and a low-priority ("lo") flow class.  Hosts are connected by a coarse
+inter-host fabric with per-(src, dst) FIFO serialization and a fixed
+propagation latency — the latency that also serves as the conservative
+lookahead horizon for the sharded executor.
+
+:class:`ClusterResult` is the deterministic merge of all per-host
+results.  Its digest intentionally excludes anything that depends on
+*how* the run was executed (shard count, process placement, wall-clock
+timings): equal digests ⇔ identical simulation outcomes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bench.runner import _jsonable
+from repro.faults.plan import FaultPlan
+from repro.prism.mode import StackMode
+from repro.sim.units import MS
+
+__all__ = ["ClusterConfig", "ClusterResult", "cluster_digest"]
+
+#: Fabric-level framing overhead for a cross-host overlay datagram
+#: (outer+inner Ethernet/IP/UDP plus VXLAN), used for serialization
+#: timing on the inter-host fabric.
+CROSS_HEADER_BYTES = 90
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One N-host cluster scenario (pure value, picklable)."""
+
+    hosts: int = 4
+    #: Total aggregated users across every (src, dst, class) flow.
+    users: int = 2_000
+    #: Fraction of users in the high-priority class.
+    hi_fraction: float = 0.25
+    #: Closed-loop think time between a user's reply and next request.
+    think_ns: int = 2 * MS
+    #: Request timeout: the user gives up and its credit is reclaimed.
+    timeout_ns: int = 20 * MS
+    payload_len: int = 16
+    lo_payload_len: int = 32
+    duration_ns: int = 12 * MS
+    warmup_ns: int = 3 * MS
+    seed: int = 0
+    mode: StackMode = StackMode.VANILLA
+    #: Per-host local one-way background flood (0 disables it).
+    local_bg_pps: float = 0.0
+    #: Inter-host fabric propagation latency — also the conservative
+    #: lookahead horizon: a packet departing in one window can never
+    #: arrive before the next barrier.
+    fabric_latency_ns: int = 50_000
+    fabric_bytes_per_ns: float = 12.5
+    faults: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.hosts < 2:
+            raise ValueError("a cluster needs at least 2 hosts")
+        if self.users < 1:
+            raise ValueError("users must be positive")
+        if not (0.0 <= self.hi_fraction <= 1.0):
+            raise ValueError("hi_fraction must be in [0, 1]")
+        if self.fabric_latency_ns <= 0:
+            raise ValueError("fabric_latency_ns must be positive "
+                             "(it is the lookahead horizon)")
+
+    @property
+    def end_ns(self) -> int:
+        return self.warmup_ns + self.duration_ns
+
+    # ------------------------------------------------------------------
+    # Deterministic user placement
+    # ------------------------------------------------------------------
+    def flows(self) -> List[Tuple[int, int]]:
+        """Every ordered (src, dst) host pair, lexicographic."""
+        return [(s, d) for s in range(self.hosts)
+                for d in range(self.hosts) if d != s]
+
+    def flow_users(self) -> Dict[Tuple[int, int, str], int]:
+        """Users per (src, dst, class) flow — a pure function of the
+        config, so every shard places the same users everywhere."""
+        flows = self.flows()
+        hi_total = int(self.users * self.hi_fraction)
+        lo_total = self.users - hi_total
+        placement: Dict[Tuple[int, int, str], int] = {}
+        for cls, total in (("hi", hi_total), ("lo", lo_total)):
+            base, rem = divmod(total, len(flows))
+            for i, (src, dst) in enumerate(flows):
+                placement[(src, dst, cls)] = base + (1 if i < rem else 0)
+        return placement
+
+    # ------------------------------------------------------------------
+    # Serde (CLI / JSON reports)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "hosts": self.hosts,
+            "users": self.users,
+            "hi_fraction": self.hi_fraction,
+            "think_ns": self.think_ns,
+            "timeout_ns": self.timeout_ns,
+            "payload_len": self.payload_len,
+            "lo_payload_len": self.lo_payload_len,
+            "duration_ns": self.duration_ns,
+            "warmup_ns": self.warmup_ns,
+            "seed": self.seed,
+            "mode": self.mode.value,
+            "local_bg_pps": self.local_bg_pps,
+            "fabric_latency_ns": self.fabric_latency_ns,
+            "fabric_bytes_per_ns": self.fabric_bytes_per_ns,
+            "faults": self.faults.to_dict() if self.faults else None,
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClusterConfig":
+        data = dict(data)
+        if data.get("mode") is not None:
+            data["mode"] = StackMode(data["mode"])
+        if data.get("faults"):
+            data["faults"] = FaultPlan.from_dict(data["faults"])
+        else:
+            data["faults"] = None
+        return cls(**data)
+
+
+@dataclass
+class ClusterResult:
+    """The deterministic merge of every host's measurements.
+
+    ``shards`` and ``timing`` describe *how* the run executed and are
+    excluded from the digest — a 1-shard and an 8-shard run of the same
+    config must hash identically.
+    """
+
+    config: Dict[str, Any]
+    #: Per-host result dicts, sorted by host id.
+    hosts: List[Dict[str, Any]]
+    #: Merged hi-class latency summary (all hosts' samples pooled).
+    fg_latency: Optional[Any]
+    #: Cluster-wide per-class ledger totals.
+    totals: Dict[str, Dict[str, int]]
+    #: Cross-shard fabric conservation accounting (exact).
+    conservation: Dict[str, Any]
+    #: Execution shape — excluded from the digest.
+    shards: int = 1
+    timing: Dict[str, Any] = field(default_factory=dict)
+
+    def digest_payload(self) -> Dict[str, Any]:
+        return {
+            "config": _jsonable(self.config),
+            "hosts": _jsonable(self.hosts),
+            "fg_latency": _jsonable(self.fg_latency),
+            "totals": _jsonable(self.totals),
+            "conservation": _jsonable(self.conservation),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = self.digest_payload()
+        out["digest"] = cluster_digest(self)
+        out["shards"] = self.shards
+        out["timing"] = _jsonable(self.timing)
+        return out
+
+
+def cluster_digest(result: ClusterResult) -> str:
+    """Content digest — equal ⇔ identical merged simulation outcome."""
+    blob = json.dumps(result.digest_payload(), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

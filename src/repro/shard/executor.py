@@ -1,0 +1,168 @@
+"""The space-parallel cluster executor (conservative lookahead).
+
+Hosts are partitioned into shard workers; the executor advances the
+whole cluster in fixed windows of the fabric propagation latency
+``fabric_latency_ns`` — the *lookahead horizon*.  Inside a window every
+shard simulates freely (concurrently, when process-backed); at the
+barrier the executor collects each shard's outbox of departed
+cross-host packets, sorts the union with the partition-independent
+:func:`~repro.overlay.wirefmt.wire_sort_key`, and routes each packet to
+the shard owning its destination for delivery at the next step.
+
+Correctness of the window width: a packet departing in window
+``(t_{k-1}, t_k]`` has ``arrival = departure + serialization + L`` with
+``L = fabric_latency_ns``, so ``arrival > t_{k-1} + L = t_k`` — at
+barrier *k* every exchanged packet is strictly in every cell's future.
+Delivery can therefore always use ``schedule_at`` and no shard ever
+receives a packet from its past (no rollback needed).
+
+Determinism: cells are always per-host simulators, the routed stream is
+globally sorted before delivery, and fabric serialization is computed
+sender-side — so the merged :class:`~repro.shard.cluster.ClusterResult`
+digest is identical at every shard count and for in-process vs
+process-backed workers.  Exact packet conservation across the fabric is
+*checked*, not assumed: any imbalance raises.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.metrics.stats import summarize_ns
+from repro.overlay.wirefmt import WirePacket, from_wire, to_wire, wire_sort_key
+from repro.shard.cluster import ClusterConfig, ClusterResult
+from repro.shard.worker import PipeShardWorker, ShardWorker, partition_hosts
+
+__all__ = ["run_cluster"]
+
+
+def run_cluster(config: ClusterConfig, *, shards: int = 1,
+                processes: Optional[bool] = None) -> ClusterResult:
+    """Run one cluster scenario across *shards* workers.
+
+    ``processes`` selects the worker backend: ``None`` (default) uses
+    subprocesses whenever ``shards > 1``; ``False`` forces everything
+    in-process (useful for tests and debugging — results are identical
+    by construction).
+    """
+    partitions = partition_hosts(config.hosts, shards)
+    shards = len(partitions)
+    if processes is None:
+        processes = shards > 1
+    worker_cls = PipeShardWorker if processes else ShardWorker
+
+    build_start = time.perf_counter()
+    workers = [worker_cls(config, block) for block in partitions]
+    host_shard: Dict[int, int] = {
+        host: i for i, block in enumerate(partitions) for host in block}
+    build_s = time.perf_counter() - build_start
+
+    horizon = config.fabric_latency_ns
+    end = config.end_ns
+    routed_total = 0
+    windows = 0
+    in_flight: List[WirePacket] = []
+    inboxes: List[List[tuple]] = [[] for _ in workers]
+    run_start = time.perf_counter()
+    try:
+        t = 0
+        while t < end:
+            t = min(t + horizon, end)
+            windows += 1
+            for worker, inbox in zip(workers, inboxes):
+                worker.post_step(t, inbox)
+            outs = [worker.wait_step() for worker in workers]
+            packets = sorted(
+                (from_wire(frame) for out in outs for frame in out),
+                key=wire_sort_key)
+            inboxes = [[] for _ in workers]
+            if t >= end:
+                # The measurement window is over: whatever departed in
+                # the last window stays on the fabric, counted in-flight.
+                in_flight = packets
+            else:
+                for wp in packets:
+                    routed_total += 1
+                    inboxes[host_shard[wp.dst_host]].append(to_wire(wp))
+        run_s = time.perf_counter() - run_start
+        host_results: Dict[int, dict] = {}
+        for worker in workers:
+            host_results.update(worker.finalize())
+    finally:
+        for worker in workers:
+            worker.close()
+
+    return _merge(config, host_results, shards=shards,
+                  routed_total=routed_total, in_flight=len(in_flight),
+                  windows=windows,
+                  timing={"build_s": build_s, "run_s": run_s,
+                          "processes": bool(processes)})
+
+
+def _merge(config: ClusterConfig, host_results: Dict[int, dict], *,
+           shards: int, routed_total: int, in_flight: int, windows: int,
+           timing: Dict[str, object]) -> ClusterResult:
+    """Deterministically merge per-host results and check conservation."""
+    hosts = [host_results[i] for i in sorted(host_results)]
+    if len(hosts) != config.hosts:
+        raise RuntimeError(f"merged {len(hosts)} host results, "
+                           f"expected {config.hosts}")
+
+    samples: List[int] = []
+    totals: Dict[str, Dict[str, int]] = {
+        cls: {"users": 0, "sent": 0, "replies": 0, "timed_out": 0,
+              "outstanding": 0, "late_replies": 0}
+        for cls in ("hi", "lo")}
+    outbox_total = delivered_total = injected_total = pending_total = 0
+    for host in hosts:
+        samples.extend(host["fg_samples_ns"])
+        for ledger in host["ledgers"]:
+            cls = "hi" if ledger["label"].endswith(":hi") else "lo"
+            for key in ("users", "sent", "replies", "timed_out",
+                        "outstanding", "late_replies"):
+                totals[cls][key] += ledger[key]
+        cross = host["cross"]
+        outbox_total += cross["outbox"]
+        delivered_total += cross["delivered"]
+        injected_total += cross["injected"]
+        pending_total += cross["pending"]
+        if cross["unrouted"]:
+            raise RuntimeError(
+                f"host {host['host']}: {cross['unrouted']} outbox packets "
+                f"never drained")
+
+    conservation = {
+        "cross_sent": outbox_total,
+        "cross_routed": routed_total,
+        "cross_in_flight_fabric": in_flight,
+        "cross_delivered": delivered_total,
+        "cross_injected": injected_total,
+        "cross_pending_at_end": pending_total,
+        "windows": windows,
+        "exact": True,
+    }
+    # Every packet that ever left a host is routed or still on the
+    # fabric; every routed packet reached its destination cell; every
+    # delivered packet either injected or is scheduled past the end.
+    if outbox_total != routed_total + in_flight:
+        raise RuntimeError(
+            f"fabric imbalance: sent={outbox_total} != "
+            f"routed={routed_total} + in_flight={in_flight}")
+    if delivered_total != routed_total:
+        raise RuntimeError(
+            f"delivery imbalance: routed={routed_total} != "
+            f"delivered={delivered_total}")
+    if injected_total + pending_total != delivered_total:
+        raise RuntimeError(
+            f"injection imbalance: delivered={delivered_total} != "
+            f"injected={injected_total} + pending={pending_total}")
+
+    return ClusterResult(
+        config=config.to_dict(),
+        hosts=hosts,
+        fg_latency=summarize_ns(samples),
+        totals=totals,
+        conservation=conservation,
+        shards=shards,
+        timing=timing)

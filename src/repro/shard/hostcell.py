@@ -1,0 +1,262 @@
+"""One cluster host as a self-contained simulation cell.
+
+Every host in a :class:`~repro.shard.cluster.ClusterConfig` runs in its
+own :class:`~repro.sim.engine.Simulator` — *always*, even when several
+hosts share a shard worker or the whole cluster runs in one process.
+Partitioning therefore never changes what any cell computes; it only
+changes which OS process hosts it.  That is the entire basis for
+"same digest at any shard count".
+
+A cell contains:
+
+- a full server :class:`~repro.bench.testbed.Testbed` (the kernel under
+  test) with a cross-traffic server container answering a high-priority
+  and a low-priority UDP port;
+- aggregated closed-loop client populations
+  (:class:`~repro.apps.aggregate.AggregatedClientPopulation`) for every
+  (dst host, class) flow originating here;
+- pseudo remote containers + reply taps that *rematerialize* incoming
+  cross-host requests as overlay packets and capture the server's
+  replies back into the outbox.
+
+Cross-host packets leave as :class:`~repro.overlay.wirefmt.WirePacket`
+records with sender-side fabric serialization (per-destination FIFO,
+computed locally — partition-independent) plus the fabric propagation
+latency, which the executor uses as its conservative lookahead horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.aggregate import AggregatedClientPopulation
+from repro.apps.remote import RemoteRequestSender
+from repro.apps.sockperf import PingRecord, SockperfUdpFlood, SockperfUdpServer
+from repro.bench.testbed import build_testbed
+from repro.faults import FaultInjector
+from repro.metrics.recorder import CpuUtilizationSampler, LatencyRecorder
+from repro.overlay.wirefmt import WirePacket
+from repro.shard.cluster import CROSS_HEADER_BYTES, ClusterConfig
+from repro.sim.rng import SeededRng
+
+__all__ = ["HostCell", "CROSS_SERVER_IP", "HI_PORT", "LO_PORT"]
+
+CROSS_SERVER_IP = "10.0.0.20"
+HI_PORT = 13333        #: high-priority cross-traffic service port
+LO_PORT = 13444        #: low-priority cross-traffic service port
+BG_PORT = 13555        #: local one-way background flood sink
+#: Reply taps: request src ports encode (class, origin host) so the
+#: coarse client can route each server reply back to the right flow.
+HI_SRC_BASE = 31000
+LO_SRC_BASE = 32000
+
+
+def _src_port(cls: str, src_host: int) -> int:
+    return (HI_SRC_BASE if cls == "hi" else LO_SRC_BASE) + src_host
+
+
+class HostCell:
+    """One simulated host: server under test + originating populations."""
+
+    def __init__(self, cluster: ClusterConfig, host_id: int) -> None:
+        if not (0 <= host_id < cluster.hosts):
+            raise ValueError(f"host_id {host_id} outside cluster "
+                             f"of {cluster.hosts}")
+        self.cluster = cluster
+        self.host_id = host_id
+        host_seed = SeededRng(cluster.seed).fork(f"host:{host_id}").seed
+        self.testbed = build_testbed(seed=host_seed, mode=cluster.mode)
+        self.sim = self.testbed.sim
+        self.injector: Optional[FaultInjector] = None
+        if cluster.faults is not None:
+            self.injector = FaultInjector(cluster.faults,
+                                          self.testbed).install()
+
+        # --- server side: the kernel under test -----------------------
+        server_ct = self.testbed.add_server_container("srv", CROSS_SERVER_IP)
+        self.hi_server = SockperfUdpServer(server_ct, HI_PORT, reply=True)
+        self.lo_server = SockperfUdpServer(server_ct, LO_PORT, reply=True)
+        self.testbed.mark_high_priority(CROSS_SERVER_IP, HI_PORT)
+        self.bg_server = None
+        self.bg_flood = None
+        if cluster.local_bg_pps > 0:
+            self.bg_server = SockperfUdpServer(server_ct, BG_PORT,
+                                               reply=False)
+            bg_src = self.testbed.add_client_container("bg-src", "10.0.0.100")
+            self.bg_flood = SockperfUdpFlood(
+                self.sim, self.testbed.client, self.testbed.overlay, bg_src,
+                CROSS_SERVER_IP, BG_PORT, rate_pps=cluster.local_bg_pps)
+
+        # --- cross-traffic plumbing -----------------------------------
+        self.outbox: List[WirePacket] = []
+        self._fabric_busy: Dict[int, int] = {}
+        #: Rematerialization senders for incoming requests, one per
+        #: (origin host, class): a pseudo remote container per flow so
+        #: server replies carry a routable source address.
+        self._cross_senders: Dict[Tuple[int, str], RemoteRequestSender] = {}
+        client = self.testbed.client
+        for src in range(cluster.hosts):
+            if src == host_id:
+                continue
+            for cls, octet in (("hi", 1), ("lo", 2)):
+                pseudo = self.testbed.add_client_container(
+                    f"xc-{cls}-{src}", f"10.1.{src}.{octet}")
+                self._cross_senders[(src, cls)] = RemoteRequestSender(
+                    client, self.testbed.overlay, pseudo, CROSS_SERVER_IP)
+                client.on_port(
+                    _src_port(cls, src),
+                    lambda inner, src=src, cls=cls:
+                        self._on_cross_reply(src, cls, inner))
+
+        # --- originating populations ----------------------------------
+        self.recorder = LatencyRecorder(f"fg:{host_id}",
+                                        warmup_until_ns=cluster.warmup_ns)
+        self.populations: Dict[Tuple[int, str], AggregatedClientPopulation] = {}
+        placement = cluster.flow_users()
+        for dst in range(cluster.hosts):
+            if dst == host_id:
+                continue
+            for cls in ("hi", "lo"):
+                users = placement[(host_id, dst, cls)]
+                if users == 0:
+                    continue
+                plen = (cluster.payload_len if cls == "hi"
+                        else cluster.lo_payload_len)
+                self.populations[(dst, cls)] = AggregatedClientPopulation(
+                    self.sim,
+                    lambda seq, now, dst=dst, cls=cls, plen=plen:
+                        self._fabric_send(dst, cls, "req", seq, now, plen),
+                    users=users, think_ns=cluster.think_ns,
+                    timeout_ns=cluster.timeout_ns,
+                    rng=self.testbed.rng.fork(f"pop:{dst}:{cls}"),
+                    label=f"{host_id}->{dst}:{cls}",
+                    recorder=self.recorder if cls == "hi" else None)
+
+        # --- cross-boundary accounting (exact) ------------------------
+        self.n_outbox = 0      #: packets appended to the outbox, ever
+        self.n_delivered = 0   #: packets handed to deliver()
+        self.n_injected = 0    #: delivered packets whose arrival fired
+
+        packet_core = self.testbed.server.kernel.cpu(0)
+        self.sampler = CpuUtilizationSampler(packet_core,
+                                             lambda: self.sim.now)
+        self._marked = False
+
+    # ------------------------------------------------------------------
+    # Fabric egress (sender-side, partition-independent)
+    # ------------------------------------------------------------------
+    def _fabric_send(self, dst: int, cls: str, kind: str, seq: int,
+                     sent_at: int, payload_len: int) -> None:
+        now = self.sim.now
+        wire_len = payload_len + CROSS_HEADER_BYTES
+        start = max(now, self._fabric_busy.get(dst, 0))
+        finish = start + int(wire_len / self.cluster.fabric_bytes_per_ns)
+        self._fabric_busy[dst] = finish
+        self.outbox.append(WirePacket(
+            src_host=self.host_id, dst_host=dst, cls=cls, kind=kind,
+            seq=seq, departure_ns=now,
+            arrival_ns=finish + self.cluster.fabric_latency_ns,
+            payload_len=payload_len, sent_at=sent_at))
+        self.n_outbox += 1
+
+    def _on_cross_reply(self, src: int, cls: str, inner) -> None:
+        """The server answered a rematerialized request: ship it home."""
+        record = inner.payload
+        if not isinstance(record, PingRecord):
+            return
+        self._fabric_send(src, cls, "reply", record.seq, record.sent_at,
+                          inner.payload_len)
+
+    # ------------------------------------------------------------------
+    # Fabric ingress (executor barrier)
+    # ------------------------------------------------------------------
+    def deliver(self, packets: List[WirePacket]) -> None:
+        """Accept routed cross-host packets (called at a barrier).
+
+        Every arrival must be strictly in this cell's future — the
+        conservative-lookahead guarantee.  A violation here means the
+        executor's window exceeded the fabric latency.
+        """
+        now = self.sim.now
+        for wp in packets:
+            if wp.arrival_ns <= now:
+                raise RuntimeError(
+                    f"lookahead violation at host {self.host_id}: packet "
+                    f"arriving t={wp.arrival_ns} delivered at t={now}")
+            self.sim.schedule_at(wp.arrival_ns, self._inject, wp)
+            self.n_delivered += 1
+
+    def _inject(self, wp: WirePacket) -> None:
+        self.n_injected += 1
+        if wp.kind == "req":
+            sender = self._cross_senders[(wp.src_host, wp.cls)]
+            sender.send_udp(
+                src_port=_src_port(wp.cls, wp.src_host),
+                dst_port=HI_PORT if wp.cls == "hi" else LO_PORT,
+                payload=PingRecord(seq=wp.seq, sent_at=wp.sent_at),
+                payload_len=wp.payload_len, created_at=self.sim.now)
+        else:
+            population = self.populations.get((wp.src_host, wp.cls))
+            if population is None:
+                raise RuntimeError(
+                    f"host {self.host_id}: reply for unknown flow "
+                    f"->{wp.src_host}:{wp.cls}")
+            population.on_reply(wp.seq)
+
+    def drain_outbox(self) -> List[WirePacket]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    # ------------------------------------------------------------------
+    # Advancing and finalizing
+    # ------------------------------------------------------------------
+    def run_to(self, horizon: int) -> int:
+        """Advance to *horizon*, marking warmup exactly when crossed."""
+        sim = self.sim
+        processed = 0
+        warmup = self.cluster.warmup_ns
+        if not self._marked and horizon >= warmup:
+            processed += sim.run_window(warmup)
+            self.sampler.mark()
+            self._marked = True
+        processed += sim.run_window(horizon)
+        return processed
+
+    def finalize(self) -> Dict[str, object]:
+        """Collect this host's measurements as a plain, picklable dict."""
+        pending = self.n_delivered - self.n_injected
+        if pending < 0:
+            raise RuntimeError(
+                f"host {self.host_id}: injected {self.n_injected} > "
+                f"delivered {self.n_delivered}")
+        ledgers = []
+        for (dst, cls) in sorted(self.populations):
+            ledger = self.populations[(dst, cls)].ledger
+            ledger.check()
+            ledgers.append(ledger.to_dict())
+        out: Dict[str, object] = {
+            "host": self.host_id,
+            "fg_samples_ns": list(self.recorder.samples_ns),
+            "fg_latency": self.recorder.summary(),
+            "ledgers": ledgers,
+            "server": {
+                "hi_received": self.hi_server.received.count,
+                "lo_received": self.lo_server.received.count,
+                "bg_received": (self.bg_server.received.count
+                                if self.bg_server else 0),
+            },
+            "drops": dict(self.testbed.server.kernel.drops),
+            "cpu_utilization": self.sampler.utilization(),
+            "softirq_fraction": self.sampler.softirq_fraction(),
+            "cross": {
+                "outbox": self.n_outbox,
+                "delivered": self.n_delivered,
+                "injected": self.n_injected,
+                "pending": pending,
+                "unrouted": len(self.outbox),
+            },
+        }
+        if self.injector is not None:
+            out["fault_summary"] = self.injector.summary()
+            out["conservation"] = self.injector.conservation_report()
+        return out

@@ -1,0 +1,170 @@
+"""Shard workers: one partition of cluster hosts, stepped in windows.
+
+Two interchangeable implementations of the same asynchronous step
+protocol (``post_step``/``wait_step``/``finalize``/``close``):
+
+- :class:`ShardWorker` runs its cells in the calling process — zero
+  overhead, used for ``shards=1``, for tests, and as the reference
+  implementation the process-backed path must match bit-for-bit;
+- :class:`PipeShardWorker` runs the same :class:`ShardWorker` inside a
+  ``multiprocessing.Process``, exchanging windows over a duplex pipe.
+  Cross-shard packets travel as :func:`~repro.overlay.wirefmt.to_wire`
+  tuples, never as live simulation objects.
+
+The split-phase protocol is what buys parallelism: the executor posts
+one window to *every* worker, then waits for all of them — shards
+simulate their windows concurrently and synchronize only at barriers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Dict, List, Sequence
+
+from repro.overlay.wirefmt import WirePacket, from_wire, to_wire
+from repro.shard.cluster import ClusterConfig
+from repro.shard.hostcell import HostCell
+
+__all__ = ["ShardWorker", "PipeShardWorker", "partition_hosts"]
+
+
+def partition_hosts(n_hosts: int, shards: int) -> List[List[int]]:
+    """Contiguous, balanced host blocks (shard i gets block i)."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    shards = min(shards, n_hosts)
+    base, rem = divmod(n_hosts, shards)
+    blocks: List[List[int]] = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < rem else 0)
+        blocks.append(list(range(start, start + size)))
+        start += size
+    return blocks
+
+
+class ShardWorker:
+    """One partition of hosts, advanced window-by-window in-process."""
+
+    def __init__(self, cluster: ClusterConfig, host_ids: Sequence[int]) -> None:
+        self.host_ids = list(host_ids)
+        self.cells: Dict[int, HostCell] = {
+            i: HostCell(cluster, i) for i in self.host_ids}
+        self._step_result: List[tuple] = []
+
+    # -- split-phase protocol ------------------------------------------
+    def post_step(self, horizon: int, inbox_frames: List[tuple]) -> None:
+        self._step_result = self._step(horizon, inbox_frames)
+
+    def wait_step(self) -> List[tuple]:
+        out, self._step_result = self._step_result, []
+        return out
+
+    def finalize(self) -> Dict[int, dict]:
+        return {i: cell.finalize() for i, cell in self.cells.items()}
+
+    def close(self) -> None:  # symmetry with the pipe worker
+        pass
+
+    # -- mechanics ------------------------------------------------------
+    def _step(self, horizon: int, inbox_frames: List[tuple]) -> List[tuple]:
+        """Deliver the inbox, advance every cell, drain the outboxes.
+
+        The inbox arrives globally sorted (executor contract); packets
+        are delivered per destination in that order, so each cell's
+        event insertion order is independent of partitioning.
+        """
+        by_dst: Dict[int, List[WirePacket]] = {}
+        for frame in inbox_frames:
+            wp = from_wire(frame)
+            by_dst.setdefault(wp.dst_host, []).append(wp)
+        for dst, packets in by_dst.items():
+            cell = self.cells.get(dst)
+            if cell is None:
+                raise RuntimeError(
+                    f"shard holding {self.host_ids} got packets "
+                    f"for host {dst}")
+            cell.deliver(packets)
+        out: List[tuple] = []
+        for i in self.host_ids:
+            cell = self.cells[i]
+            cell.run_to(horizon)
+            out.extend(to_wire(wp) for wp in cell.drain_outbox())
+        return out
+
+
+def _pipe_worker_main(conn, cluster: ClusterConfig,
+                      host_ids: List[int]) -> None:
+    """Child-process loop: build cells, serve step/finish requests."""
+    try:
+        worker = ShardWorker(cluster, host_ids)
+        conn.send(("ready", None))
+        while True:
+            tag, payload = conn.recv()
+            if tag == "step":
+                horizon, frames = payload
+                worker.post_step(horizon, frames)
+                conn.send(("stepped", worker.wait_step()))
+            elif tag == "finish":
+                conn.send(("finished", worker.finalize()))
+            elif tag == "exit":
+                break
+            else:
+                raise RuntimeError(f"unknown worker message {tag!r}")
+    except Exception as exc:  # surface the failure at the next recv
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class PipeShardWorker:
+    """A :class:`ShardWorker` in its own process, driven over a pipe."""
+
+    def __init__(self, cluster: ClusterConfig, host_ids: Sequence[int]) -> None:
+        self.host_ids = list(host_ids)
+        ctx = mp.get_context("fork" if "fork" in
+                             mp.get_all_start_methods() else "spawn")
+        self._conn, child = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=_pipe_worker_main,
+            args=(child, cluster, self.host_ids),
+            name=f"shard-{self.host_ids[0]}",
+            daemon=True)
+        self._proc.start()
+        child.close()
+        self._expect("ready")
+
+    def _expect(self, tag: str):
+        got, payload = self._conn.recv()
+        if got == "error":
+            raise RuntimeError(
+                f"shard worker {self.host_ids} failed: {payload}")
+        if got != tag:
+            raise RuntimeError(
+                f"shard worker {self.host_ids}: expected {tag!r}, "
+                f"got {got!r}")
+        return payload
+
+    def post_step(self, horizon: int, inbox_frames: List[tuple]) -> None:
+        self._conn.send(("step", (horizon, inbox_frames)))
+
+    def wait_step(self) -> List[tuple]:
+        return self._expect("stepped")
+
+    def finalize(self) -> Dict[int, dict]:
+        self._conn.send(("finish", None))
+        return self._expect("finished")
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("exit", None))
+        except (BrokenPipeError, OSError):
+            pass
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+        self._conn.close()

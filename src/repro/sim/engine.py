@@ -198,6 +198,7 @@ class Simulator:
         self._l1_count = 0
         self._drain_sn = 0  # absolute level-0 slot number feeding _cur
         self._n_cancelled = 0
+        self._n_processed = 0
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -400,8 +401,33 @@ class Simulator:
                 continue
             entry[_FN] = None
             self.now = entry[_TIME]
+            self._n_processed += 1
             fn(*entry[_ARGS])
             return True
+
+    def run_window(self, horizon: int) -> int:
+        """Advance to exactly *horizon* (ns) and count occurrences run.
+
+        The space-parallel executor drives each partition's simulator in
+        conservative-lookahead windows: ``run_window(t_k)`` processes
+        every occurrence with ``time <= t_k`` and leaves the clock at
+        ``t_k``, so cross-partition arrivals scheduled at the following
+        barrier (all strictly later than ``t_k`` by the lookahead
+        argument) land in the future.  Back-to-back windows are
+        equivalent to one ``run(until=...)`` over their union — the
+        stop condition never reorders or drops occurrences — which is
+        what makes a single-shard windowed run byte-identical to the
+        monolithic engine.
+
+        Returns the number of occurrences processed, so callers can
+        detect quiet partitions (idle windows cost one clock update).
+        """
+        if horizon < self.now:
+            raise SimulationError(
+                f"cannot run window to t={horizon} before now={self.now}")
+        processed = self._n_processed
+        self.run(until=horizon)
+        return self._n_processed - processed
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains or the clock passes *until* (ns).
@@ -439,6 +465,7 @@ class Simulator:
                 heappop(src)
                 entry[_FN] = None
                 self.now = entry[_TIME]
+                self._n_processed += 1
                 fn(*entry[_ARGS])
             if until is not None and until > self.now:
                 self.now = until

@@ -1,0 +1,127 @@
+"""Flow-class aggregation: exact accounting for aggregated populations.
+
+An :class:`AggregatedClientPopulation` replaces one simulation process
+per user with a single credit-pool process, so these tests pin the
+properties the replacement must preserve:
+
+- the closed loop is bounded: outstanding never exceeds the population;
+- the books balance exactly at any instant:
+  ``sent == replies + timed_out + outstanding``;
+- lost requests *time out and reclaim their credit* — a drop can never
+  permanently shrink the population (the deadlock class the aggregated
+  model is explicitly designed out of);
+- late replies (after the timeout already fired) are counted separately
+  and do not double-credit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.aggregate import AggregatedClientPopulation, FlowClassLedger
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+from repro.sim.units import MS
+
+
+class _Loopback:
+    """Test transport: replies after a fixed delay, can drop by seq."""
+
+    def __init__(self, sim, delay_ns=100_000, drop=lambda seq: False):
+        self.sim = sim
+        self.delay_ns = delay_ns
+        self.drop = drop
+        self.population = None
+        self.sent = []
+
+    def send(self, seq, now):
+        self.sent.append((seq, now))
+        if not self.drop(seq):
+            self.sim.schedule(self.delay_ns, self.population.on_reply, seq)
+
+
+def _population(sim, transport, *, users=20, think_ns=1 * MS,
+                timeout_ns=5 * MS, jitter_frac=0.0):
+    population = AggregatedClientPopulation(
+        sim, transport.send, users=users, think_ns=think_ns,
+        timeout_ns=timeout_ns, rng=SeededRng(7), label="test:hi",
+        jitter_frac=jitter_frac)
+    transport.population = population
+    return population
+
+
+def test_closed_loop_bounds_outstanding_and_balances():
+    sim = Simulator()
+    transport = _Loopback(sim)
+    population = _population(sim, transport, users=20)
+    sim.run(until=50 * MS)
+    ledger = population.ledger
+    ledger.check()  # raises on imbalance
+    assert ledger.sent == ledger.replies + ledger.timed_out + ledger.outstanding
+    assert 0 <= ledger.outstanding <= 20
+    assert ledger.timed_out == 0
+    # 20 users cycling every ~1.1 ms for 50 ms — hundreds of requests
+    # from a single process, not one process per user.
+    assert ledger.sent > 400
+
+
+def test_drops_time_out_and_reclaim_credits():
+    sim = Simulator()
+    transport = _Loopback(sim, drop=lambda seq: seq % 3 == 0)
+    population = _population(sim, transport, users=10, timeout_ns=2 * MS)
+    sim.run(until=60 * MS)
+    ledger = population.ledger
+    ledger.check()
+    assert ledger.timed_out > 0
+    # The whole population keeps cycling: a dropped request costs one
+    # timeout, not a permanently lost user.
+    assert ledger.sent > ledger.users * 3
+    assert ledger.outstanding <= ledger.users
+
+
+def test_late_reply_does_not_double_credit():
+    sim = Simulator()
+    transport = _Loopback(sim)
+    population = _population(sim, transport, users=1, think_ns=1 * MS,
+                             timeout_ns=1 * MS)
+    # First request times out at t≈1ms; deliver its reply *after* that.
+    transport.drop = lambda seq: True
+    sim.run(until=int(1.5 * MS))
+    assert population.ledger.timed_out == 1
+    population.on_reply(1)
+    ledger = population.ledger
+    ledger.check()
+    assert ledger.late_replies == 1
+    assert ledger.replies == 0
+
+
+def test_ramp_staggers_initial_sends():
+    sim = Simulator()
+    transport = _Loopback(sim, delay_ns=10_000_000)
+    _population(sim, transport, users=100, think_ns=10 * MS)
+    sim.run(until=1 * MS)  # one tenth of the ramp (ramp defaults to think)
+    assert 5 <= len(transport.sent) <= 20  # paced, not a t=0 burst
+
+
+def test_ledger_check_raises_on_imbalance():
+    ledger = FlowClassLedger("broken", users=5)
+    ledger.sent = 10
+    ledger.replies = 3
+    with pytest.raises(RuntimeError, match="imbalance"):
+        ledger.check()
+    ledger = FlowClassLedger("overdrawn", users=2)
+    ledger.sent = 3
+    ledger.outstanding = 3
+    with pytest.raises(RuntimeError, match="outside"):
+        ledger.check()
+
+
+def test_deterministic_across_runs():
+    def run_once():
+        sim = Simulator()
+        transport = _Loopback(sim, drop=lambda seq: seq % 5 == 0)
+        population = _population(sim, transport, users=15, jitter_frac=0.2)
+        sim.run(until=30 * MS)
+        return (population.ledger.to_dict(), transport.sent)
+
+    assert run_once() == run_once()

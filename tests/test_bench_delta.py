@@ -129,6 +129,68 @@ class TestGate:
         assert bench_delta.main([baseline, current, "--gate", "20"]) == 0
 
 
+def run_entry_sampled(samples, label="seed"):
+    """A run that recorded repeated-run samples (statistical gate path)."""
+    entry = run_entry(max(samples), label=label)
+    entry["canonical_packets_per_sec_samples"] = list(samples)
+    return entry
+
+
+class TestStatisticalGate:
+    """PASTRAMI-lite: gate on median + IQR overlap, not a single number."""
+
+    def test_distinguishable_regression_fails(self, tmp_path, capsys):
+        baseline = write_bench(tmp_path, "base.json", [run_entry_sampled(
+            [100.0, 101.0, 102.0, 103.0, 104.0])])
+        current = write_bench(tmp_path, "cur.json", [run_entry_sampled(
+            [60.0, 61.0, 62.0, 63.0, 64.0])])
+        assert bench_delta.main([baseline, current, "--gate", "20"]) == 1
+        assert "statistically distinguishable" in capsys.readouterr().out
+
+    def test_noisy_regression_with_iqr_overlap_passes(self, tmp_path,
+                                                      capsys):
+        # Median drops 25% (past the 20% budget) but the spreads overlap:
+        # the single-number gate would fail this; the statistical one
+        # recognizes it as noise.
+        baseline = write_bench(tmp_path, "base.json", [run_entry_sampled(
+            [70.0, 95.0, 100.0, 105.0, 130.0])])
+        current = write_bench(tmp_path, "cur.json", [run_entry_sampled(
+            [60.0, 70.0, 75.0, 96.0, 99.0])])
+        assert bench_delta.main([baseline, current, "--gate", "20"]) == 0
+        assert "IQRs overlap" in capsys.readouterr().out
+
+    def test_small_median_drop_passes(self, tmp_path):
+        baseline = write_bench(tmp_path, "base.json", [run_entry_sampled(
+            [100.0, 101.0, 102.0])])
+        current = write_bench(tmp_path, "cur.json", [run_entry_sampled(
+            [90.0, 91.0, 92.0])])
+        assert bench_delta.main([baseline, current, "--gate", "20"]) == 0
+
+    def test_too_few_samples_falls_back_to_single_run_gate(self, tmp_path,
+                                                           capsys):
+        # Two samples each: not enough for quartiles — the legacy
+        # single-number path must decide (and fail, 30% drop).
+        baseline = write_bench(tmp_path, "base.json", [run_entry_sampled(
+            [100.0, 102.0])])
+        current = write_bench(tmp_path, "cur.json", [run_entry_sampled(
+            [70.0, 71.0])])
+        assert bench_delta.main([baseline, current, "--gate", "20"]) == 1
+        out = capsys.readouterr().out
+        assert "statistical" not in out
+        assert "FAIL" in out
+
+    def test_legacy_runs_without_samples_unaffected(self, tmp_path):
+        baseline = write_bench(tmp_path, "base.json", [run_entry(100.0)])
+        current = write_bench(tmp_path, "cur.json", [run_entry(95.0)])
+        assert bench_delta.main([baseline, current, "--gate", "20"]) == 0
+
+    def test_quartiles_interpolate(self):
+        q1, med, q3 = bench_delta.quartiles([1.0, 2.0, 3.0, 4.0])
+        assert med == 2.5
+        assert q1 == 1.75
+        assert q3 == 3.25
+
+
 def test_check_artifacts_detects_patterns_and_size(tmp_path):
     """The artifact-hygiene checker flags tracked traces and huge files."""
     spec = importlib.util.spec_from_file_location(
