@@ -5,9 +5,9 @@ Usage: bench_delta.py <baseline.json> <current.json> [--gate PCT]
 
 Compares the most recent run in each file workload-by-workload and
 prints GitHub-flavoured markdown (intended for $GITHUB_STEP_SUMMARY).
-Handles both the engine files (``events_per_sec``) and the packet-path
-files (``packets_per_sec``); the per-workload metric is detected from
-the data.
+Handles the engine files (``events_per_sec``), the packet-path files
+(``packets_per_sec``) and the fabric files (``replies_per_sec``); the
+per-workload metric is detected from the data.
 
 Without ``--gate`` the output is informational only — CI perf boxes are
 too noisy to gate tightly; the enforced 3% budget is checked on
@@ -32,7 +32,7 @@ import json
 import sys
 
 #: Per-workload throughput keys, in detection order.
-METRIC_KEYS = ("events_per_sec", "packets_per_sec")
+METRIC_KEYS = ("events_per_sec", "packets_per_sec", "replies_per_sec")
 
 
 def latest_run(path):
@@ -73,8 +73,13 @@ def detect_metric(*runs):
 
 def print_table(baseline, current, metric):
     unit = metric.replace("_per_sec", "/s").replace("events", "ev")
-    unit = unit.replace("packets", "pkt")
-    suite = "Packet-path" if "packets" in metric else "Engine"
+    unit = unit.replace("packets", "pkt").replace("replies", "rep")
+    if "packets" in metric:
+        suite = "Packet-path"
+    elif "replies" in metric:
+        suite = "Fabric"
+    else:
+        suite = "Engine"
     print(f"### {suite} benchmark vs committed baseline")
     print()
     print(f"baseline: `{baseline.get('label', '?')}` "

@@ -19,6 +19,9 @@ Usage::
     python -m repro --metrics-diff base.json head.json --diff-threshold 5
     python -m repro --cluster 16 --users 100000 --shards 4
                                       # space-parallel sharded cluster run
+    python -m repro --cluster 8 --topology fat-tree --shards 2
+                                      # k=4 fat-tree fabric with ECMP +
+                                      # flowlet switching
 """
 
 from __future__ import annotations
@@ -133,12 +136,19 @@ def _cluster_run(args) -> int:
                 .timing(duration_ns=int(args.cluster_ms * MS),
                         warmup_ns=int(args.cluster_ms * MS) // 4)
                 .shards(args.shards))
+    if args.topology == "fat-tree":
+        from repro.fabric.spec import Topology
+        spec = Topology.fat_tree(
+            args.fat_tree_k, hosts=args.cluster,
+            flowlet_gap_ns=int(args.flowlet_gap_us * 1_000))
+        scenario = scenario.topology(spec)
     if args.faults:
         scenario = scenario.with_faults(args.faults)
     result = scenario.run()
     timing = result.timing
     print(f"cluster: hosts={args.cluster} users={args.users} "
-          f"shards={result.shards} mode={args.mode}")
+          f"shards={result.shards} mode={args.mode} "
+          f"topology={args.topology}")
     print(f"digest:  {cluster_digest(result)}")
     print(f"fg (hi class): {result.fg_latency}")
     for cls in ("hi", "lo"):
@@ -151,6 +161,15 @@ def _cluster_run(args) -> int:
           f"in_flight={c['cross_in_flight_fabric']} "
           f"injected={c['cross_injected']} windows={c['windows']} "
           f"exact={c['exact']}")
+    if result.fabric is not None:
+        f = result.fabric
+        print(f"fabric: packets={f['packets']} flows={f['flows']} "
+              f"multipath={f['flows_multipath']} "
+              f"paths_max={f['paths_used_max']} "
+              f"flowlet_rehashes={f['flowlet_rehashes']} "
+              f"path_changes={f['flowlet_path_changes']} "
+              f"links_used={f['links_used']} "
+              f"link_pkts_max={f['link_packets_max']}")
     print(f"wall: build={timing['build_s']:.2f}s run={timing['run_s']:.2f}s "
           f"(processes={timing['processes']})")
     return 0
@@ -221,6 +240,20 @@ def main(argv=None) -> int:
     parser.add_argument("--cluster-ms", type=float, default=40.0,
                         metavar="MS", help="cluster measurement window in "
                         "simulated milliseconds (default: 40)")
+    parser.add_argument("--topology", choices=("mesh", "fat-tree"),
+                        default="mesh",
+                        help="cluster fabric: 'mesh' is the coarse "
+                        "single-hop all-pairs fabric; 'fat-tree' routes "
+                        "cross-host packets hop-by-hop through a k-ary "
+                        "fat-tree with ECMP and flowlet switching "
+                        "(default: mesh)")
+    parser.add_argument("--fat-tree-k", type=int, default=4, metavar="K",
+                        help="fat-tree arity (even, >= 2; capacity k^3/4 "
+                        "hosts; default: 4)")
+    parser.add_argument("--flowlet-gap-us", type=float, default=100.0,
+                        metavar="US", help="idle gap after which a flow's "
+                        "next flowlet may be rehashed onto a different "
+                        "equal-cost path (default: 100)")
     parser.add_argument("--faults", metavar="SPEC", default=None,
                         help="inject faults into the canonical scenario and "
                         "enable loss recovery; SPEC is ';'-separated clauses "
@@ -238,6 +271,13 @@ def main(argv=None) -> int:
     configure(jobs=args.jobs, cache=args.cache)
 
     if args.cluster:
+        if args.shards < 1:
+            parser.error(f"--shards must be >= 1, got {args.shards}")
+        if args.shards > args.cluster:
+            parser.error(
+                f"--shards {args.shards} exceeds --cluster {args.cluster}: "
+                f"each shard simulates at least one host, so at most "
+                f"{args.cluster} shards can do useful work")
         return _cluster_run(args)
 
     if args.metrics_diff:

@@ -55,7 +55,31 @@ class ExperimentCell:
         if config.network not in ("overlay", "host"):
             raise ValueError(f"unknown network type {config.network!r}")
         self.config = config
-        self.testbed = build_testbed(seed=config.seed, costs=config.costs,
+        # The topology spec is the source of truth for *where* this runs:
+        # an experiment cell is the two-host testbed, so the spec must
+        # describe a host pair matching the network string; its link
+        # parameters feed the cost model's wire fields when no explicit
+        # cost model pins them (None topology derives the spec *from*
+        # the cost model, so legacy configs build bit-identically).
+        spec = config.topology_spec()
+        network = spec.canonical_network()
+        if network is None:
+            raise ValueError(
+                f"ExperimentCell runs two-host topologies; a "
+                f"{spec.kind!r} fabric of {spec.host_count} hosts runs "
+                f"through repro.shard.run_cluster / Scenario.on(...)")
+        if network != config.network:
+            raise ValueError(
+                f"topology kind {spec.kind!r} contradicts "
+                f"network={config.network!r}")
+        costs = config.costs
+        if config.topology is not None and costs is None:
+            link = spec.links[0]
+            from repro.kernel.costs import CostModel
+            costs = CostModel().replace(
+                wire_latency_ns=link.latency_ns,
+                wire_bytes_per_ns=link.bytes_per_ns)
+        self.testbed = build_testbed(seed=config.seed, costs=costs,
                                      config=config.kernel_config,
                                      mode=config.mode, tracer=tracer)
         self.injector: Optional[FaultInjector] = None

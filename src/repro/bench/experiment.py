@@ -21,6 +21,7 @@ from repro.apps.sockperf import (
 )
 from repro.bench.cell import ExperimentCell
 from repro.bench.testbed import Testbed, build_testbed
+from repro.fabric.spec import Topology, TopologySpec
 from repro.faults import FaultInjector, FaultPlan, merge_recovery
 from repro.kernel.config import KernelConfig
 from repro.kernel.costs import CostModel
@@ -109,14 +110,37 @@ class ExperimentConfig:
     #: is *omitted* from the serialized form so that every pre-existing
     #: config hashes and round-trips byte-identically.
     faults: Optional[FaultPlan] = None
+    #: Optional explicit :class:`~repro.fabric.spec.TopologySpec`.
+    #: ``None`` means "the canonical two-host topology implied by
+    #: ``network``" — the pre-spec behavior — and is omitted from the
+    #: wire format so legacy cache keys stay byte-identical.  A set
+    #: spec must describe a two-host pair (multi-host fabrics run
+    #: through :func:`repro.shard.run_cluster`); its link parameters
+    #: feed the cost model's wire fields when ``costs`` is unset.
+    topology: Optional[TopologySpec] = None
 
     #: Fields the serialization layers drop when ``None`` (see
     #: :func:`repro.bench.runner._jsonable` and :meth:`to_dict`).
-    _JSON_OMIT_WHEN_NONE: ClassVar[Tuple[str, ...]] = ("faults",)
+    _JSON_OMIT_WHEN_NONE: ClassVar[Tuple[str, ...]] = ("faults", "topology")
 
     def label(self) -> str:
         busy = f"+bg{self.bg_rate_pps / 1000:.0f}k" if self.bg_rate_pps else ""
         return f"{self.network}/{self.mode}{busy}"
+
+    def topology_spec(self) -> TopologySpec:
+        """The :class:`TopologySpec` this experiment runs on.
+
+        Explicit when :attr:`topology` is set; otherwise the canonical
+        two-host spec implied by ``network`` and the cost model's wire
+        parameters — making the spec the single source of truth even
+        for configs built through the legacy string adapter.
+        """
+        if self.topology is not None:
+            return self.topology
+        costs = self.costs or CostModel()
+        return Topology.two_host(
+            self.network, latency_ns=costs.wire_latency_ns,
+            bytes_per_ns=costs.wire_bytes_per_ns)
 
     # ------------------------------------------------------------------
     # Versioned serialization (the disk cache's wire format)
@@ -132,7 +156,7 @@ class ExperimentConfig:
                 value = str(value)
             elif isinstance(value, (CostModel, KernelConfig)):
                 value = _frozen_to_dict(value)
-            elif isinstance(value, FaultPlan):
+            elif isinstance(value, (FaultPlan, TopologySpec)):
                 value = value.to_dict()
             out[f.name] = value
         return out
@@ -152,6 +176,8 @@ class ExperimentConfig:
                 KernelConfig, kwargs["kernel_config"])
         if kwargs.get("faults") is not None:
             kwargs["faults"] = FaultPlan.from_dict(kwargs["faults"])
+        if kwargs.get("topology") is not None:
+            kwargs["topology"] = TopologySpec.from_dict(kwargs["topology"])
         return cls(**kwargs)
 
 

@@ -1,0 +1,53 @@
+"""repro.fabric — declarative topologies and the simulated multi-hop
+datacenter fabric (fat-tree, ECMP, flowlet switching).
+
+Public surface:
+
+- :class:`~repro.fabric.spec.TopologySpec` and the :class:`Topology`
+  factory (``two_host`` / ``fat_tree`` / ``mesh``) — the frozen,
+  versioned single source of truth for where an experiment runs;
+- :class:`~repro.fabric.network.FabricNetwork` — the executable
+  store-and-forward fabric the sharded executor routes through;
+- :func:`~repro.fabric.network.min_path_latency_ns` — the conservative
+  lookahead horizon a spec implies.
+
+The priority-survival experiment helper lives in
+:mod:`repro.fabric.experiment` (imported lazily by its users — it pulls
+in :mod:`repro.shard`, which itself consumes specs from here).
+"""
+
+from repro.fabric.ecmp import FlowletTable, ecmp_index
+from repro.fabric.fattree import build_fat_tree, fat_tree_capacity
+from repro.fabric.network import (
+    FabricNetwork,
+    equal_cost_paths,
+    min_path_latency_ns,
+)
+from repro.fabric.spec import (
+    TOPOLOGY_SCHEMA_VERSION,
+    ContainerSpec,
+    EcmpSpec,
+    HostSpec,
+    LinkSpec,
+    SwitchSpec,
+    Topology,
+    TopologySpec,
+)
+
+__all__ = [
+    "TOPOLOGY_SCHEMA_VERSION",
+    "ContainerSpec",
+    "EcmpSpec",
+    "FabricNetwork",
+    "FlowletTable",
+    "HostSpec",
+    "LinkSpec",
+    "SwitchSpec",
+    "Topology",
+    "TopologySpec",
+    "build_fat_tree",
+    "ecmp_index",
+    "equal_cost_paths",
+    "fat_tree_capacity",
+    "min_path_latency_ns",
+]

@@ -1,0 +1,107 @@
+"""k-ary fat-tree construction (the canonical datacenter fabric).
+
+Layout for even ``k`` (Al-Fares et al.):
+
+- ``k`` pods, each with ``k/2`` ToR (edge) and ``k/2`` aggregation
+  switches; every ToR connects to every agg in its pod;
+- ``(k/2)^2`` core switches in ``k/2`` groups of ``k/2``; aggregation
+  switch ``j`` of every pod connects to core group ``j``;
+- each ToR serves ``k/2`` hosts, for ``k^3/4`` hosts at full capacity.
+
+Equal-cost path structure (what ECMP hashes over): 1 path between hosts
+under the same ToR, ``k/2`` within a pod, ``(k/2)^2`` across pods.
+
+Node naming is deterministic and dense: hosts ``h0..``, ToRs
+``t<pod>_<j>``, aggs ``a<pod>_<j>``, cores ``c<i>``.  Containers on host
+``i`` are ``srv-hi-<i>`` at ``10.0.<i>.10`` (the high-priority service)
+and ``srv-lo-<i>`` at ``10.0.<i>.11``; extra containers continue at
+``.12``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.fabric.spec import (
+    ContainerSpec,
+    EcmpSpec,
+    HostSpec,
+    LinkSpec,
+    SwitchSpec,
+    TopologySpec,
+)
+
+__all__ = ["build_fat_tree", "fat_tree_capacity"]
+
+
+def fat_tree_capacity(k: int) -> int:
+    """Host capacity of a k-ary fat-tree (k^3/4)."""
+    return k ** 3 // 4
+
+
+def build_fat_tree(k: int = 4, *, hosts: Optional[int] = None,
+                   containers_per_host: int = 2,
+                   link_latency_ns: int = 25_000,
+                   bytes_per_ns: float = 12.5,
+                   flowlet_gap_ns: int = 100_000,
+                   hash_salt: int = 0) -> TopologySpec:
+    """Build the spec (see module docstring for the wiring rules)."""
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree arity k must be even and >= 2, got {k}")
+    if containers_per_host < 1:
+        raise ValueError("containers_per_host must be >= 1")
+    half = k // 2
+    capacity = fat_tree_capacity(k)
+    n_hosts = capacity if hosts is None else int(hosts)
+    if not (2 <= n_hosts <= capacity):
+        raise ValueError(
+            f"a k={k} fat-tree holds 2..{capacity} hosts, got {n_hosts}")
+    if n_hosts > 254:
+        raise ValueError("container IP scheme 10.0.<host>.x caps hosts at 254")
+
+    switches = []
+    links = []
+    for pod in range(k):
+        for j in range(half):
+            switches.append(SwitchSpec(f"t{pod}_{j}", tier="tor"))
+        for j in range(half):
+            switches.append(SwitchSpec(f"a{pod}_{j}", tier="agg"))
+        for t in range(half):
+            for a in range(half):
+                links.append(LinkSpec(f"t{pod}_{t}", f"a{pod}_{a}",
+                                      latency_ns=link_latency_ns,
+                                      bytes_per_ns=bytes_per_ns))
+    for i in range(half * half):
+        switches.append(SwitchSpec(f"c{i}", tier="core"))
+    # Agg j of every pod uplinks to core group j (cores j*k/2 .. +k/2).
+    for pod in range(k):
+        for j in range(half):
+            for c in range(half):
+                links.append(LinkSpec(f"a{pod}_{j}", f"c{j * half + c}",
+                                      latency_ns=link_latency_ns,
+                                      bytes_per_ns=bytes_per_ns))
+
+    host_specs = []
+    hosts_per_pod = half * half
+    for i in range(n_hosts):
+        pod = i // hosts_per_pod
+        tor = (i % hosts_per_pod) // half
+        attach = f"t{pod}_{tor}"
+        containers: Tuple[ContainerSpec, ...] = tuple(
+            ContainerSpec(name=(f"srv-hi-{i}" if c == 0 else
+                                f"srv-lo-{i}" if c == 1 else
+                                f"srv-x{c}-{i}"),
+                          ip=f"10.0.{i}.{10 + c}")
+            for c in range(containers_per_host))
+        host_specs.append(HostSpec(i, f"h{i}", attach=attach,
+                                   containers=containers))
+        links.append(LinkSpec(f"h{i}", attach,
+                              latency_ns=link_latency_ns,
+                              bytes_per_ns=bytes_per_ns))
+
+    return TopologySpec(
+        kind="fat-tree",
+        hosts=tuple(host_specs),
+        switches=tuple(switches),
+        links=tuple(links),
+        ecmp=EcmpSpec(hash_salt=hash_salt, flowlet_gap_ns=flowlet_gap_ns))

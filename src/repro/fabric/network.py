@@ -1,0 +1,207 @@
+"""The simulated multi-hop fabric: ECMP routing + store-and-forward.
+
+:class:`FabricNetwork` turns a :class:`~repro.fabric.spec.TopologySpec`
+into an executable network.  The sharded executor hands it each
+barrier's globally sorted batch of departed
+:class:`~repro.overlay.wirefmt.WirePacket` records; the fabric assigns
+every packet a path (ECMP over the flow key, flowlet-aware), replays the
+hop-by-hop store-and-forward timing (per-(link, direction) FIFO
+serialization + per-hop propagation latency, carried across barriers),
+and returns the packets with their true ``arrival_ns``.
+
+Determinism: the input batch is the *globally sorted union* of all
+shards' outboxes (executor contract), path enumeration orders neighbors
+by name, the event heap breaks ties on (time, departure, input index),
+and the ECMP hash is process-stable — so arrivals, per-link counters,
+and flowlet statistics are identical at any shard count and for
+in-process vs subprocess workers.  The stats feed the cluster digest.
+
+Lookahead safety: every path traverses links whose summed latency is at
+least :func:`min_path_latency_ns`, so ``arrival >= departure +
+min_path_latency_ns`` — using that minimum as the executor's window
+width preserves the conservative-lookahead guarantee that no delivered
+packet is ever in a cell's past.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import heapq
+from typing import Dict, Iterable, List, Tuple
+
+from repro.fabric.ecmp import FlowletTable
+from repro.fabric.spec import TopologySpec
+from repro.overlay.wirefmt import WirePacket, wire_sort_key
+
+__all__ = ["FabricNetwork", "equal_cost_paths", "min_path_latency_ns"]
+
+#: A path as hop directives: (link index into spec.links, direction)
+#: with direction 0 = a->b, 1 = b->a.
+Hop = Tuple[int, int]
+Path = Tuple[Hop, ...]
+
+
+def _adjacency(spec: TopologySpec) -> Dict[str, List[Tuple[str, int, int]]]:
+    """name -> sorted [(neighbor, link_index, direction)]."""
+    adj: Dict[str, List[Tuple[str, int, int]]] = {}
+    for index, link in enumerate(spec.links):
+        adj.setdefault(link.a, []).append((link.b, index, 0))
+        adj.setdefault(link.b, []).append((link.a, index, 1))
+    for neighbors in adj.values():
+        neighbors.sort()
+    return adj
+
+
+@functools.lru_cache(maxsize=None)
+def equal_cost_paths(spec: TopologySpec, src: str, dst: str
+                     ) -> Tuple[Path, ...]:
+    """All minimum-hop paths src -> dst, deterministically ordered.
+
+    BFS computes hop distances from *src*; every shortest path is then
+    enumerated over the BFS DAG (neighbors name-sorted), yielding the
+    canonical path list ECMP indexes into.
+    """
+    adj = _adjacency(spec)
+    if src not in adj or dst not in adj:
+        raise ValueError(f"no fabric connectivity for {src!r} -> {dst!r}")
+    dist = {src: 0}
+    frontier = [src]
+    while frontier and dst not in dist:
+        nxt: List[str] = []
+        for node in frontier:
+            for neighbor, _index, _direction in adj[node]:
+                if neighbor not in dist:
+                    dist[neighbor] = dist[node] + 1
+                    nxt.append(neighbor)
+        frontier = nxt
+    if dst not in dist:
+        raise ValueError(f"no path {src!r} -> {dst!r} in topology "
+                         f"{spec.kind!r}")
+
+    paths: List[Path] = []
+
+    def extend(node: str, hops: List[Hop]) -> None:
+        if node == dst:
+            paths.append(tuple(hops))
+            return
+        for neighbor, index, direction in adj[node]:
+            if dist.get(neighbor) == dist[node] + 1 \
+                    and dist[neighbor] <= dist[dst]:
+                hops.append((index, direction))
+                extend(neighbor, hops)
+                hops.pop()
+
+    extend(src, [])
+    return tuple(paths)
+
+
+@functools.lru_cache(maxsize=None)
+def min_path_latency_ns(spec: TopologySpec) -> int:
+    """The smallest propagation latency between any two hosts.
+
+    This is the executor's conservative lookahead horizon: serialization
+    only adds delay, so every cross-host arrival is at least this far
+    past its departure.
+    """
+    best = None
+    for i, a in enumerate(spec.hosts):
+        for b in spec.hosts[i + 1:]:
+            for path in equal_cost_paths(spec, a.name, b.name):
+                latency = sum(spec.links[index].latency_ns
+                              for index, _direction in path)
+                if best is None or latency < best:
+                    best = latency
+    if best is None:
+        raise ValueError("topology has no host-to-host path")
+    return best
+
+
+class FabricNetwork:
+    """Executable fabric state for one cluster run (one per executor)."""
+
+    def __init__(self, spec: TopologySpec, *, seed: int = 0,
+                 header_bytes: int = 0) -> None:
+        self.spec = spec
+        self.header_bytes = header_bytes
+        salt = (spec.ecmp.hash_salt << 32) ^ (seed & 0xFFFF_FFFF)
+        self.flowlets = FlowletTable(spec.ecmp.flowlet_gap_ns, salt)
+        #: (link index, direction) -> busy-until ns, carried across
+        #: barriers so FIFO serialization spans window boundaries.
+        self._busy: Dict[Tuple[int, int], int] = {}
+        self._link_packets: Dict[str, int] = {}
+        self._flow_paths: Dict[str, Dict[int, int]] = {}
+        self.transited = 0
+
+    # ------------------------------------------------------------------
+    def _flow_key(self, wp: WirePacket) -> Tuple:
+        return (wp.src_host, wp.dst_host, wp.cls, wp.kind)
+
+    def transit(self, packets: Iterable[WirePacket]) -> List[WirePacket]:
+        """Route one barrier's departures; returns packets with true
+        arrivals, sorted by :func:`~repro.overlay.wirefmt.wire_sort_key`.
+        """
+        spec = self.spec
+        hosts = spec.hosts
+        # Flowlet/path assignment walks departures in global time order
+        # so idle-gap detection is partition-independent.
+        entries = sorted(packets,
+                         key=lambda wp: (wp.departure_ns,) + wire_sort_key(wp))
+        heap: List[Tuple[int, int, int, int, WirePacket, Path]] = []
+        for order, wp in enumerate(entries):
+            paths = equal_cost_paths(spec, hosts[wp.src_host].name,
+                                     hosts[wp.dst_host].name)
+            flow = self._flow_key(wp)
+            index = self.flowlets.assign(flow, wp.departure_ns, len(paths))
+            uses = self._flow_paths.setdefault(
+                f"{wp.src_host}->{wp.dst_host}:{wp.cls}:{wp.kind}", {})
+            uses[index] = uses.get(index, 0) + 1
+            heapq.heappush(heap, (wp.departure_ns, wp.departure_ns,
+                                  order, 0, wp, paths[index]))
+
+        out: List[WirePacket] = []
+        busy = self._busy
+        while heap:
+            t, departed, order, hop, wp, path = heapq.heappop(heap)
+            link_index, direction = path[hop]
+            link = spec.links[link_index]
+            start = max(t, busy.get((link_index, direction), 0))
+            wire_len = wp.payload_len + self.header_bytes
+            finish = start + int(wire_len / link.bytes_per_ns)
+            busy[(link_index, direction)] = finish
+            name = f"{link.a}->{link.b}" if direction == 0 \
+                else f"{link.b}->{link.a}"
+            self._link_packets[name] = self._link_packets.get(name, 0) + 1
+            t_next = finish + link.latency_ns
+            if hop + 1 == len(path):
+                out.append(dataclasses.replace(wp, arrival_ns=t_next))
+            else:
+                heapq.heappush(heap, (t_next, departed, order,
+                                      hop + 1, wp, path))
+        self.transited += len(entries)
+        out.sort(key=wire_sort_key)
+        return out
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Digest-grade summary of what the fabric did (deterministic)."""
+        multipath = {flow: uses for flow, uses in self._flow_paths.items()
+                     if len(uses) > 1}
+        return {
+            "packets": self.transited,
+            "flows": len(self._flow_paths),
+            "flows_multipath": len(multipath),
+            "paths_used_max": max(
+                (len(uses) for uses in self._flow_paths.values()),
+                default=0),
+            "flowlet_rehashes": self.flowlets.rehashes,
+            "flowlet_path_changes": self.flowlets.path_changes,
+            "links_used": len(self._link_packets),
+            "link_packets_max": max(self._link_packets.values(), default=0),
+            "flow_paths": {flow: {str(i): n for i, n in sorted(uses.items())}
+                           for flow, uses in sorted(self._flow_paths.items())},
+        }
+
+    @property
+    def lookahead_ns(self) -> int:
+        return min_path_latency_ns(self.spec)

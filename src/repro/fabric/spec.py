@@ -1,0 +1,295 @@
+"""Declarative topology specs — the single source of truth for *where*
+an experiment runs.
+
+A :class:`TopologySpec` is a frozen, hashable, versioned value object
+describing hosts, switches, links, per-host containers, and the ECMP
+policy of the network an experiment runs on.  Everything that used to be
+implied by the ``network="overlay"/"host"`` string or the hardwired
+two-host :func:`~repro.bench.testbed.build_testbed` is now *derivable
+from a spec*, and the legacy forms are thin adapters emitting canonical
+specs (see :meth:`repro.scenario.Scenario.on`).
+
+Design rules:
+
+- **Pure value.**  All collections are tuples, so specs hash, compare,
+  pickle, and serve as ``functools.lru_cache`` keys (path enumeration
+  caches on the spec itself).
+- **Versioned wire format.**  :meth:`TopologySpec.to_dict` /
+  :meth:`~TopologySpec.from_dict` round-trip exactly;
+  ``TOPOLOGY_SCHEMA_VERSION`` gates forward compatibility.
+- **Canonical legacy forms.**  ``Topology.two_host()`` (kinds
+  ``"two-host"`` / ``"host-pair"``) describes exactly the scenario the
+  two-host testbed builds; adapters map it back onto the legacy config
+  fields so cache keys and digests are byte-identical to pre-spec code.
+
+Build specs through the :class:`Topology` factory::
+
+    Topology.two_host()              # the classic overlay pair
+    Topology.fat_tree(k=4)           # 16 hosts, 20 switches, ECMP
+    Topology.mesh(hosts=8)           # full mesh, single-hop links
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "TOPOLOGY_SCHEMA_VERSION",
+    "ContainerSpec",
+    "HostSpec",
+    "SwitchSpec",
+    "LinkSpec",
+    "EcmpSpec",
+    "TopologySpec",
+    "Topology",
+]
+
+#: Bump when the to_dict()/from_dict() wire format changes.
+TOPOLOGY_SCHEMA_VERSION = 1
+
+#: Default per-hop link parameters for fabric topologies.  The two-host
+#: defaults instead mirror :class:`~repro.kernel.costs.CostModel`
+#: (``wire_latency_ns=1_600``, ``wire_bytes_per_ns=12.5``) so the
+#: canonical two-host spec maps onto an unmodified cost model.
+FABRIC_LINK_LATENCY_NS = 25_000
+FABRIC_LINK_BYTES_PER_NS = 12.5
+TWO_HOST_LATENCY_NS = 1_600
+TWO_HOST_BYTES_PER_NS = 12.5
+DEFAULT_FLOWLET_GAP_NS = 100_000
+
+
+@dataclass(frozen=True)
+class ContainerSpec:
+    """One container placed on a host (name + overlay IP)."""
+
+    name: str
+    ip: str
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One physical host: id (dense, 0-based), name, uplink, placement."""
+
+    id: int
+    name: str
+    #: Name of the switch this host uplinks to ("" = point-to-point
+    #: topology with direct host-host links, e.g. the two-host pair).
+    attach: str = ""
+    containers: Tuple[ContainerSpec, ...] = ()
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """One store-and-forward fabric switch."""
+
+    name: str
+    #: "tor" | "agg" | "core" (informational; routing is topological).
+    tier: str = "tor"
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One bidirectional link: two independent FIFO directions."""
+
+    a: str
+    b: str
+    latency_ns: int = FABRIC_LINK_LATENCY_NS
+    bytes_per_ns: float = FABRIC_LINK_BYTES_PER_NS
+
+
+@dataclass(frozen=True)
+class EcmpSpec:
+    """ECMP + flowlet policy for multi-path topologies."""
+
+    #: Mixed into the path hash alongside the run seed, so two specs can
+    #: deliberately shuffle flows onto different paths.
+    hash_salt: int = 0
+    #: A flow idle for longer than this gap rehashes onto a (possibly)
+    #: new equal-cost path — flowlet switching.
+    flowlet_gap_ns: int = DEFAULT_FLOWLET_GAP_NS
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A frozen, hashable description of hosts, fabric, and placement."""
+
+    #: "two-host" | "host-pair" | "mesh" | "fat-tree" (open set — the
+    #: kind names the generator; consumers dispatch on structure).
+    kind: str
+    hosts: Tuple[HostSpec, ...]
+    switches: Tuple[SwitchSpec, ...] = ()
+    links: Tuple[LinkSpec, ...] = ()
+    ecmp: EcmpSpec = field(default_factory=EcmpSpec)
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("topology kind must be non-empty")
+        if len(self.hosts) < 2:
+            raise ValueError("a topology needs at least 2 hosts")
+        for i, host in enumerate(self.hosts):
+            if host.id != i:
+                raise ValueError(
+                    f"host ids must be dense and ordered: "
+                    f"hosts[{i}].id == {host.id}")
+        names = ([h.name for h in self.hosts]
+                 + [s.name for s in self.switches])
+        if len(set(names)) != len(names):
+            raise ValueError("host/switch names must be unique")
+        nodes = set(names)
+        for link in self.links:
+            if link.a not in nodes or link.b not in nodes:
+                raise ValueError(f"link {link.a}<->{link.b} references "
+                                 f"an unknown node")
+            if link.a == link.b:
+                raise ValueError(f"self-link on {link.a}")
+            if link.latency_ns <= 0 or link.bytes_per_ns <= 0:
+                raise ValueError(f"link {link.a}<->{link.b} needs positive "
+                                 f"latency and bandwidth")
+        for host in self.hosts:
+            if host.attach and host.attach not in nodes:
+                raise ValueError(f"host {host.name} attaches to unknown "
+                                 f"switch {host.attach!r}")
+            ips = [c.ip for c in host.containers]
+            if len(set(ips)) != len(ips):
+                raise ValueError(f"host {host.name}: duplicate container IPs")
+        if self.ecmp.flowlet_gap_ns <= 0:
+            raise ValueError("flowlet_gap_ns must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def host_count(self) -> int:
+        return len(self.hosts)
+
+    def canonical_network(self) -> Optional[str]:
+        """The legacy ``network`` string this spec is the canonical form
+        of, or ``None`` for genuinely multi-host fabrics."""
+        if self.kind == "two-host":
+            return "overlay"
+        if self.kind == "host-pair":
+            return "host"
+        return None
+
+    def host_by_name(self, name: str) -> HostSpec:
+        for host in self.hosts:
+            if host.name == name:
+                return host
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # Versioned serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict that :meth:`from_dict` round-trips exactly."""
+        return {
+            "version": TOPOLOGY_SCHEMA_VERSION,
+            "kind": self.kind,
+            "hosts": [
+                {"id": h.id, "name": h.name, "attach": h.attach,
+                 "containers": [{"name": c.name, "ip": c.ip}
+                                for c in h.containers]}
+                for h in self.hosts],
+            "switches": [{"name": s.name, "tier": s.tier}
+                         for s in self.switches],
+            "links": [{"a": l.a, "b": l.b, "latency_ns": l.latency_ns,
+                       "bytes_per_ns": l.bytes_per_ns}
+                      for l in self.links],
+            "ecmp": {"hash_salt": self.ecmp.hash_salt,
+                     "flowlet_gap_ns": self.ecmp.flowlet_gap_ns},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TopologySpec":
+        version = data.get("version", TOPOLOGY_SCHEMA_VERSION)
+        if version > TOPOLOGY_SCHEMA_VERSION:
+            raise ValueError(
+                f"topology schema v{version} is newer than this code "
+                f"(v{TOPOLOGY_SCHEMA_VERSION})")
+        return cls(
+            kind=data["kind"],
+            hosts=tuple(
+                HostSpec(id=h["id"], name=h["name"],
+                         attach=h.get("attach", ""),
+                         containers=tuple(
+                             ContainerSpec(name=c["name"], ip=c["ip"])
+                             for c in h.get("containers", ())))
+                for h in data["hosts"]),
+            switches=tuple(SwitchSpec(name=s["name"],
+                                      tier=s.get("tier", "tor"))
+                           for s in data.get("switches", ())),
+            links=tuple(LinkSpec(a=l["a"], b=l["b"],
+                                 latency_ns=l["latency_ns"],
+                                 bytes_per_ns=l["bytes_per_ns"])
+                        for l in data.get("links", ())),
+            ecmp=EcmpSpec(**data.get("ecmp", {})))
+
+
+class Topology:
+    """Factory for canonical :class:`TopologySpec` values."""
+
+    @staticmethod
+    def two_host(network: str = "overlay", *,
+                 latency_ns: int = TWO_HOST_LATENCY_NS,
+                 bytes_per_ns: float = TWO_HOST_BYTES_PER_NS
+                 ) -> TopologySpec:
+        """The classic Prism pair: one fully simulated server host, one
+        coarse client host, a single point-to-point wire.
+
+        ``network="overlay"`` runs container workloads over the VXLAN
+        overlay; ``"host"`` serves from root-namespace sockets.  The
+        default link parameters equal the two-host
+        :class:`~repro.kernel.costs.CostModel` wire defaults, so the
+        canonical spec maps onto an unmodified legacy config.
+        """
+        if network not in ("overlay", "host"):
+            raise ValueError(f"unknown network type {network!r}; "
+                             "expected 'overlay' or 'host'")
+        kind = "two-host" if network == "overlay" else "host-pair"
+        containers: Tuple[ContainerSpec, ...] = ()
+        if network == "overlay":
+            containers = (ContainerSpec("fg-server", "10.0.0.10"),
+                          ContainerSpec("bg-server", "10.0.0.11"))
+        return TopologySpec(
+            kind=kind,
+            hosts=(HostSpec(0, "server", containers=containers),
+                   HostSpec(1, "client")),
+            links=(LinkSpec("server", "client", latency_ns=latency_ns,
+                            bytes_per_ns=bytes_per_ns),))
+
+    @staticmethod
+    def fat_tree(k: int = 4, *, hosts: Optional[int] = None,
+                 containers_per_host: int = 2,
+                 link_latency_ns: int = FABRIC_LINK_LATENCY_NS,
+                 bytes_per_ns: float = FABRIC_LINK_BYTES_PER_NS,
+                 flowlet_gap_ns: int = DEFAULT_FLOWLET_GAP_NS,
+                 hash_salt: int = 0) -> TopologySpec:
+        """A k-ary fat-tree (k pods x k/2 ToR + k/2 agg, (k/2)^2 cores).
+
+        Full capacity is ``k^3/4`` hosts; *hosts* truncates to the first
+        N (switch fabric stays complete, so equal-cost path counts are
+        unchanged).  Every host carries *containers_per_host* service
+        containers — the first is the high-priority service, the second
+        the low-priority one.
+        """
+        from repro.fabric.fattree import build_fat_tree  # avoid cycle
+
+        return build_fat_tree(
+            k, hosts=hosts, containers_per_host=containers_per_host,
+            link_latency_ns=link_latency_ns, bytes_per_ns=bytes_per_ns,
+            flowlet_gap_ns=flowlet_gap_ns, hash_salt=hash_salt)
+
+    @staticmethod
+    def mesh(hosts: int, *, latency_ns: int = 50_000,
+             bytes_per_ns: float = 12.5) -> TopologySpec:
+        """A full mesh of direct host-host links (no switches, exactly
+        one path per pair) — the canonical form of the PR 6 coarse
+        cluster fabric (``fabric_latency_ns``/``fabric_bytes_per_ns``).
+        """
+        if hosts < 2:
+            raise ValueError("a mesh needs at least 2 hosts")
+        host_specs = tuple(HostSpec(i, f"h{i}") for i in range(hosts))
+        links = tuple(
+            LinkSpec(f"h{i}", f"h{j}", latency_ns=latency_ns,
+                     bytes_per_ns=bytes_per_ns)
+            for i in range(hosts) for j in range(i + 1, hosts))
+        return TopologySpec(kind="mesh", hosts=host_specs, links=links)

@@ -8,6 +8,7 @@ Usage::
     python -m repro.perf --experiments-only
     python -m repro.perf --packetpath-only
     python -m repro.perf --shard-only     # space-parallel scaling suite
+    python -m repro.perf --fabric-only    # fat-tree priority-survival suite
     python -m repro.perf --label fastlane # tag the recorded run
     python -m repro.perf --profile prof.pstats  # cProfile the canonical cell
     python -m repro.perf --telemetry-dir out/   # metered+profiled canonical
@@ -33,6 +34,7 @@ from typing import Dict, Optional
 
 from repro.perf.engine_bench import run_engine_suite
 from repro.perf.experiment_bench import run_experiment_suite
+from repro.perf.fabric_bench import run_fabric_suite
 from repro.perf.packet_bench import (
     CANONICAL_PACKET,
     packet_config,
@@ -44,6 +46,7 @@ ENGINE_FILE = "BENCH_engine.json"
 EXPERIMENTS_FILE = "BENCH_experiments.json"
 PACKETPATH_FILE = "BENCH_packetpath.json"
 SHARD_FILE = "BENCH_shard.json"
+FABRIC_FILE = "BENCH_fabric.json"
 
 
 def _load(path: Path) -> Dict[str, object]:
@@ -144,6 +147,7 @@ def main(argv=None) -> int:
     parser.add_argument("--experiments-only", action="store_true")
     parser.add_argument("--packetpath-only", action="store_true")
     parser.add_argument("--shard-only", action="store_true")
+    parser.add_argument("--fabric-only", action="store_true")
     parser.add_argument("--jobs", type=int, default=4,
                         help="parallel worker count for the experiment suite")
     parser.add_argument("--label", default=None,
@@ -161,11 +165,11 @@ def main(argv=None) -> int:
                              "speedscope artifacts into DIR")
     args = parser.parse_args(argv)
     only_flags = [args.engine_only, args.experiments_only,
-                  args.packetpath_only, args.shard_only]
+                  args.packetpath_only, args.shard_only, args.fabric_only]
     if sum(only_flags) > 1:
         parser.error("--engine-only/--experiments-only/--packetpath-only/"
-                     "--shard-only are mutually exclusive (omit all to run "
-                     "everything)")
+                     "--shard-only/--fabric-only are mutually exclusive "
+                     "(omit all to run everything)")
 
     if args.profile is not None:
         _profile(Path(args.profile), quick=args.quick)
@@ -177,14 +181,16 @@ def main(argv=None) -> int:
 
     out_dir = Path(args.out_dir)
     others_only = (args.experiments_only or args.packetpath_only
-                   or args.shard_only)
+                   or args.shard_only or args.fabric_only)
     run_engine = not others_only
     run_experiments = not (args.engine_only or args.packetpath_only
-                           or args.shard_only)
+                           or args.shard_only or args.fabric_only)
     run_packetpath = not (args.engine_only or args.experiments_only
-                          or args.shard_only)
+                          or args.shard_only or args.fabric_only)
     run_shards = not (args.engine_only or args.experiments_only
-                      or args.packetpath_only)
+                      or args.packetpath_only or args.fabric_only)
+    run_fabric = not (args.engine_only or args.experiments_only
+                      or args.packetpath_only or args.shard_only)
     ok = True
 
     if run_engine:
@@ -229,6 +235,30 @@ def main(argv=None) -> int:
                   f"sent {stats['cross_sent']})")
         if not (suite["digests_identical"] and suite["conservation_exact"]):
             print("ERROR: shard determinism or conservation broken",
+                  file=sys.stderr)
+            ok = False
+
+    if run_fabric:
+        suite = run_fabric_suite(quick=args.quick)
+        run = {**_meta(args.label, args.quick), **suite}
+        run = _append_run(out_dir / FABRIC_FILE, run,
+                          "canonical_replies_per_sec")
+        rps = suite["canonical_replies_per_sec"]
+        ratio = suite["hi_p99_ratio_vanilla_over_prism"]
+        speedup = run.get("speedup_vs_first")
+        extra = f"  ({speedup:.2f}x vs baseline)" if speedup else ""
+        print(f"fabric: {suite['canonical']} = {rps:,.0f} replies/sec"
+              f"{extra} | hi p99 vanilla/prism "
+              f"{ratio:.2f}x | digests identical: "
+              f"{suite['digests_identical']} | conservation exact: "
+              f"{suite['conservation_exact']}")
+        for name, stats in suite["workloads"].items():
+            print(f"  {name:12s} {stats['replies_per_sec']:>12,.0f} rep/s  "
+                  f"hi p99 {stats['hi_p99_us']:.1f}us  "
+                  f"(multipath {stats['flows_multipath']}, "
+                  f"rehashes {stats['flowlet_rehashes']})")
+        if not (suite["digests_identical"] and suite["conservation_exact"]):
+            print("ERROR: fabric determinism or conservation broken",
                   file=sys.stderr)
             ok = False
 

@@ -1,0 +1,111 @@
+"""Fabric suite — the fat-tree priority-survival cell, timed and checked.
+
+Runs the canonical k=4 fat-tree contention scenario (every host serving
+and originating hi/lo closed-loop populations, cross-host packets
+routed hop-by-hop with ECMP + flowlet switching) once per stack mode,
+repeated for stable wall-clock statistics.  Records, per mode: replies
+per wall-second (the throughput headline), hi-class latency tails, the
+merged digest, and the fabric's ECMP/flowlet counters.
+
+Determinism contract, enforced not assumed: every repeat of a mode must
+produce the same digest, a 2-shard run must reproduce the 1-shard
+digest exactly, and cross-fabric conservation must balance — any
+violation fails the suite.
+
+The headline ``canonical_replies_per_sec`` carries a ``_samples`` list
+(one value per repeat) so ``bench_delta.py`` can apply its median+IQR
+statistical gate instead of comparing two noisy singletons.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Tuple
+
+from repro.fabric.experiment import priority_survival_config
+from repro.prism.mode import StackMode
+from repro.shard.cluster import ClusterConfig, cluster_digest
+from repro.shard.executor import run_cluster
+from repro.sim.units import MS
+
+__all__ = ["CANONICAL_FABRIC", "fabric_config", "run_fabric_suite"]
+
+CANONICAL_FABRIC = "fattree-k4-priority-survival"
+MODES: Tuple[StackMode, ...] = (StackMode.VANILLA, StackMode.PRISM_SYNC)
+
+
+def fabric_config(mode: StackMode, *, quick: bool = False) -> ClusterConfig:
+    """The canonical fat-tree survival cell for one stack mode."""
+    if quick:
+        return priority_survival_config(
+            mode, hosts=8, users=2_000, duration_ns=int(8 * MS))
+    return priority_survival_config(
+        mode, hosts=16, users=20_000, duration_ns=int(20 * MS))
+
+
+def run_fabric_suite(*, quick: bool = False,
+                     repeats: int = 3) -> Dict[str, object]:
+    """Run the survival cell per mode with repeats; one suite dict."""
+    workloads: Dict[str, Dict[str, object]] = {}
+    digests_identical = True
+    conservation_exact = True
+    hi_p99_by_mode: Dict[str, float] = {}
+    for mode in MODES:
+        config = fabric_config(mode, quick=quick)
+        samples = []
+        digests = set()
+        result = None
+        for _ in range(repeats):
+            result = run_cluster(config, shards=1)
+            replies = (result.totals["hi"]["replies"]
+                       + result.totals["lo"]["replies"])
+            samples.append(replies / result.timing["run_s"])
+            digests.add(cluster_digest(result))
+            conservation_exact &= bool(result.conservation["exact"])
+        sharded = run_cluster(config, shards=2, processes=False)
+        digests_identical &= len(digests) == 1
+        digests_identical &= cluster_digest(sharded) in digests
+        conservation_exact &= bool(sharded.conservation["exact"])
+        summary = result.fg_latency
+        fabric = result.fabric or {}
+        if summary is not None:
+            hi_p99_by_mode[mode.value] = summary.p99_ns
+        workloads[mode.value] = {
+            "replies_per_sec": statistics.median(samples),
+            "replies_per_sec_samples": samples,
+            "digest": sorted(digests)[0],
+            "hi_p50_us": None if summary is None else summary.p50_us,
+            "hi_p99_us": None if summary is None else summary.p99_us,
+            "hi_replies": result.totals["hi"]["replies"],
+            "lo_replies": result.totals["lo"]["replies"],
+            "run_s": result.timing["run_s"],
+            "fabric_packets": fabric.get("packets", 0),
+            "flows_multipath": fabric.get("flows_multipath", 0),
+            "paths_used_max": fabric.get("paths_used_max", 0),
+            "flowlet_rehashes": fabric.get("flowlet_rehashes", 0),
+            "flowlet_path_changes": fabric.get("flowlet_path_changes", 0),
+            "links_used": fabric.get("links_used", 0),
+        }
+
+    vanilla = workloads[StackMode.VANILLA.value]
+    p99_vanilla = hi_p99_by_mode.get(StackMode.VANILLA.value)
+    p99_prism = hi_p99_by_mode.get(StackMode.PRISM_SYNC.value)
+    ratio = (p99_vanilla / p99_prism
+             if p99_vanilla and p99_prism else None)
+    config = fabric_config(StackMode.VANILLA, quick=quick)
+    return {
+        "canonical": CANONICAL_FABRIC,
+        "hosts": config.hosts,
+        "users": config.users,
+        "duration_ns": config.duration_ns,
+        "lookahead_ns": config.lookahead_ns,
+        "workloads": workloads,
+        "canonical_replies_per_sec": vanilla["replies_per_sec"],
+        "canonical_replies_per_sec_samples":
+            vanilla["replies_per_sec_samples"],
+        #: The survival headline: > 1 means Prism holds the hi-class
+        #: tail down under cross-host ECMP contention.
+        "hi_p99_ratio_vanilla_over_prism": ratio,
+        "digests_identical": digests_identical,
+        "conservation_exact": conservation_exact,
+    }

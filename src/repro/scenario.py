@@ -27,6 +27,7 @@ built it.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import TYPE_CHECKING, Iterable, List, Optional, Union
 
 from repro.bench.experiment import (
@@ -40,6 +41,7 @@ from repro.bench.experiment import (
     run_instrumented_experiment,
     run_traced_experiment,
 )
+from repro.fabric.spec import Topology, TopologySpec
 from repro.faults import FaultPlan
 from repro.kernel.config import KernelConfig
 from repro.kernel.costs import CostModel
@@ -48,7 +50,7 @@ from repro.prism.mode import StackMode
 if TYPE_CHECKING:  # pragma: no cover
     from pathlib import Path
 
-__all__ = ["Scenario", "ClusterScenario", "run_scenarios"]
+__all__ = ["Scenario", "ClusterScenario", "Topology", "run_scenarios"]
 
 _FG_KINDS = ("pingpong", "flood")
 
@@ -59,13 +61,30 @@ class Scenario:
     __slots__ = ("_config",)
 
     def __init__(self, mode: Union[StackMode, str] = StackMode.VANILLA,
-                 network: str = "overlay", *, seed: int = 1,
+                 *args: str, network: Optional[str] = None, seed: int = 1,
                  config: Optional[ExperimentConfig] = None) -> None:
+        if args:
+            # Positional network is deprecated: topology is a *place*,
+            # not a string — build through Scenario.on(Topology.…) or
+            # pass network= by keyword (the documented thin adapter).
+            if len(args) > 1:
+                raise TypeError(f"Scenario() takes at most 2 positional "
+                                f"arguments ({1 + len(args) + 1} given)")
+            if network is not None:
+                raise TypeError("Scenario() got network both positionally "
+                                "and by keyword")
+            warnings.warn(
+                "passing network positionally is deprecated; use "
+                "Scenario.on(Topology.two_host(network=...)) or the "
+                "network= keyword", DeprecationWarning, stacklevel=2)
+            network = args[0]
         if config is not None:
             self._config = config
             return
         if isinstance(mode, str):
             mode = StackMode.parse(mode)
+        if network is None:
+            network = "overlay"
         if network not in ("overlay", "host"):
             raise ValueError(f"unknown network type {network!r}; "
                              "expected 'overlay' or 'host'")
@@ -183,6 +202,67 @@ class Scenario:
         return run_instrumented_experiment(self._config, options)
 
     # ------------------------------------------------------------------
+    # Topology dispatch
+    # ------------------------------------------------------------------
+    @staticmethod
+    def on(spec: TopologySpec, *,
+           mode: Union[StackMode, str] = StackMode.VANILLA,
+           seed: Optional[int] = None,
+           **knobs: object) -> Union["Scenario", "ClusterScenario"]:
+        """Build the scenario for a declarative topology spec.
+
+        The spec is the single source of truth for *where* the workload
+        runs; this dispatches on its structure:
+
+        - ``Topology.two_host(...)`` → a :class:`Scenario` on the classic
+          pair.  The adapter **canonicalizes**: the returned scenario's
+          config carries the legacy ``network`` string (and maps
+          non-default link parameters onto the cost model's wire
+          fields), so its cache key is byte-identical to a config built
+          before specs existed.
+        - ``Topology.mesh(...)`` → a :class:`ClusterScenario` on the
+          PR 6 coarse single-hop fabric (again canonicalized:
+          ``fabric_latency_ns``/``fabric_bytes_per_ns``, digest-stable).
+        - Anything with switches (``Topology.fat_tree(k=4)``, …) → a
+          :class:`ClusterScenario` carrying the spec, routed through the
+          simulated multi-hop :class:`~repro.fabric.network.FabricNetwork`.
+
+        Extra knobs forward to :class:`ClusterScenario` (``users=``,
+        ``shards=``, …) and are rejected for two-host specs.
+        """
+        network = spec.canonical_network()
+        if network is not None:
+            if knobs:
+                raise TypeError(
+                    f"two-host specs take no cluster knobs: "
+                    f"{sorted(knobs)}")
+            scenario = Scenario(mode=mode, network=network,
+                                seed=1 if seed is None else seed)
+            link = spec.links[0]
+            defaults = CostModel()
+            if (link.latency_ns != defaults.wire_latency_ns
+                    or link.bytes_per_ns != defaults.wire_bytes_per_ns):
+                scenario = scenario.costs(
+                    wire_latency_ns=link.latency_ns,
+                    wire_bytes_per_ns=link.bytes_per_ns)
+            return scenario
+        if spec.kind == "mesh" and not spec.switches:
+            latencies = {l.latency_ns for l in spec.links}
+            bandwidths = {l.bytes_per_ns for l in spec.links}
+            if len(latencies) != 1 or len(bandwidths) != 1:
+                raise ValueError(
+                    "heterogeneous mesh links have no canonical legacy "
+                    "form; use an explicit fabric topology instead")
+            return ClusterScenario(
+                spec.host_count, mode=mode,
+                seed=0 if seed is None else seed,
+                fabric_latency_ns=latencies.pop(),
+                fabric_bytes_per_ns=bandwidths.pop(), **knobs)
+        return ClusterScenario(
+            spec.host_count, mode=mode, seed=0 if seed is None else seed,
+            topology=spec, **knobs)
+
+    # ------------------------------------------------------------------
     # Cluster scenarios
     # ------------------------------------------------------------------
     @staticmethod
@@ -290,6 +370,13 @@ class ClusterScenario:
     def background(self, rate_pps: float) -> "ClusterScenario":
         """Per-host local one-way background flood."""
         return self._replace(local_bg_pps=float(rate_pps))
+
+    def topology(self, spec: Optional[TopologySpec]) -> "ClusterScenario":
+        """Route cross-host traffic over an explicit multi-hop fabric
+        spec (host count follows the spec); ``None`` returns to the
+        coarse single-hop fabric."""
+        hosts = self._config.hosts if spec is None else spec.host_count
+        return self._replace(topology=spec, hosts=hosts)
 
     def with_faults(self,
                     plan: Union["FaultPlan", str, None]) -> "ClusterScenario":

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bench.runner import _jsonable
+from repro.fabric.spec import TopologySpec
 from repro.faults.plan import FaultPlan
 from repro.prism.mode import StackMode
 from repro.sim.units import MS
@@ -62,6 +63,13 @@ class ClusterConfig:
     fabric_latency_ns: int = 50_000
     fabric_bytes_per_ns: float = 12.5
     faults: Optional[FaultPlan] = None
+    #: Optional multi-hop fabric spec (e.g. ``Topology.fat_tree(k=4)``).
+    #: ``None`` keeps the PR 6 coarse single-hop fabric — and is omitted
+    #: from :meth:`to_dict`, so every pre-existing cluster digest stays
+    #: byte-identical.  When set, cross-host packets route through a
+    #: :class:`~repro.fabric.network.FabricNetwork` (ECMP + flowlets)
+    #: and the lookahead horizon is the spec's minimum path latency.
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         if self.hosts < 2:
@@ -73,10 +81,29 @@ class ClusterConfig:
         if self.fabric_latency_ns <= 0:
             raise ValueError("fabric_latency_ns must be positive "
                              "(it is the lookahead horizon)")
+        if self.topology is not None:
+            if self.topology.host_count != self.hosts:
+                raise ValueError(
+                    f"topology describes {self.topology.host_count} hosts "
+                    f"but the cluster has {self.hosts}")
+            if self.topology.canonical_network() is not None:
+                raise ValueError(
+                    "two-host specs run through Scenario.on(...) / "
+                    "run_experiment, not the cluster executor")
 
     @property
     def end_ns(self) -> int:
         return self.warmup_ns + self.duration_ns
+
+    @property
+    def lookahead_ns(self) -> int:
+        """The conservative lookahead horizon this cluster's fabric
+        guarantees: no cross-host packet arrives sooner than this after
+        departing."""
+        if self.topology is not None:
+            from repro.fabric.network import min_path_latency_ns
+            return min_path_latency_ns(self.topology)
+        return self.fabric_latency_ns
 
     # ------------------------------------------------------------------
     # Deterministic user placement
@@ -120,6 +147,11 @@ class ClusterConfig:
             "fabric_bytes_per_ns": self.fabric_bytes_per_ns,
             "faults": self.faults.to_dict() if self.faults else None,
         }
+        # Unlike faults (always present, None-valued), the topology key
+        # only appears when set: pre-spec cluster digests hash to_dict()
+        # output and must stay byte-identical.
+        if self.topology is not None:
+            out["topology"] = self.topology.to_dict()
         return out
 
     @classmethod
@@ -131,6 +163,8 @@ class ClusterConfig:
             data["faults"] = FaultPlan.from_dict(data["faults"])
         else:
             data["faults"] = None
+        if data.get("topology") is not None:
+            data["topology"] = TopologySpec.from_dict(data["topology"])
         return cls(**data)
 
 
@@ -152,18 +186,26 @@ class ClusterResult:
     totals: Dict[str, Dict[str, int]]
     #: Cross-shard fabric conservation accounting (exact).
     conservation: Dict[str, Any]
+    #: Multi-hop fabric statistics (ECMP spread, flowlet switches,
+    #: per-link counts) — ``None`` on the coarse single-hop fabric, and
+    #: then absent from the digest payload so legacy digests are
+    #: untouched.  Deterministic, so it *is* digested when present.
+    fabric: Optional[Dict[str, Any]] = None
     #: Execution shape — excluded from the digest.
     shards: int = 1
     timing: Dict[str, Any] = field(default_factory=dict)
 
     def digest_payload(self) -> Dict[str, Any]:
-        return {
+        out = {
             "config": _jsonable(self.config),
             "hosts": _jsonable(self.hosts),
             "fg_latency": _jsonable(self.fg_latency),
             "totals": _jsonable(self.totals),
             "conservation": _jsonable(self.conservation),
         }
+        if self.fabric is not None:
+            out["fabric"] = _jsonable(self.fabric)
+        return out
 
     def to_dict(self) -> Dict[str, Any]:
         out = self.digest_payload()

@@ -46,11 +46,23 @@ def run_cluster(config: ClusterConfig, *, shards: int = 1,
     in-process (useful for tests and debugging — results are identical
     by construction).
     """
-    partitions = partition_hosts(config.hosts, shards)
+    partitions = partition_hosts(config.hosts, shards,
+                                 topology=config.topology)
     shards = len(partitions)
     if processes is None:
         processes = shards > 1
     worker_cls = PipeShardWorker if processes else ShardWorker
+
+    fabric = None
+    if config.topology is not None:
+        # One multi-hop fabric instance, owned by the executor: per-link
+        # FIFO state persists across barriers, and routing consumes the
+        # globally sorted union — so arrivals and fabric statistics are
+        # identical at any shard count.
+        from repro.fabric.network import FabricNetwork
+        from repro.shard.cluster import CROSS_HEADER_BYTES
+        fabric = FabricNetwork(config.topology, seed=config.seed,
+                               header_bytes=CROSS_HEADER_BYTES)
 
     build_start = time.perf_counter()
     workers = [worker_cls(config, block) for block in partitions]
@@ -58,7 +70,7 @@ def run_cluster(config: ClusterConfig, *, shards: int = 1,
         host: i for i, block in enumerate(partitions) for host in block}
     build_s = time.perf_counter() - build_start
 
-    horizon = config.fabric_latency_ns
+    horizon = config.lookahead_ns
     end = config.end_ns
     routed_total = 0
     windows = 0
@@ -82,6 +94,8 @@ def run_cluster(config: ClusterConfig, *, shards: int = 1,
                 # the last window stays on the fabric, counted in-flight.
                 in_flight = packets
             else:
+                if fabric is not None:
+                    packets = fabric.transit(packets)
                 for wp in packets:
                     routed_total += 1
                     inboxes[host_shard[wp.dst_host]].append(to_wire(wp))
@@ -96,12 +110,14 @@ def run_cluster(config: ClusterConfig, *, shards: int = 1,
     return _merge(config, host_results, shards=shards,
                   routed_total=routed_total, in_flight=len(in_flight),
                   windows=windows,
+                  fabric=fabric.stats() if fabric is not None else None,
                   timing={"build_s": build_s, "run_s": run_s,
                           "processes": bool(processes)})
 
 
 def _merge(config: ClusterConfig, host_results: Dict[int, dict], *,
            shards: int, routed_total: int, in_flight: int, windows: int,
+           fabric: Optional[Dict[str, object]],
            timing: Dict[str, object]) -> ClusterResult:
     """Deterministically merge per-host results and check conservation."""
     hosts = [host_results[i] for i in sorted(host_results)]
@@ -164,5 +180,6 @@ def _merge(config: ClusterConfig, host_results: Dict[int, dict], *,
         fg_latency=summarize_ns(samples),
         totals=totals,
         conservation=conservation,
+        fabric=fabric,
         shards=shards,
         timing=timing)

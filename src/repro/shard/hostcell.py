@@ -71,21 +71,48 @@ class HostCell:
         if cluster.faults is not None:
             self.injector = FaultInjector(cluster.faults,
                                           self.testbed).install()
+        #: Multi-hop fabric mode: the executor's FabricNetwork models
+        #: every hop (including this host's uplink), so the sender-side
+        #: coarse serialization below is skipped and arrivals are
+        #: rewritten in transit.
+        self._fabric_mode = cluster.topology is not None
+        self._lookahead_ns = cluster.lookahead_ns
 
         # --- server side: the kernel under test -----------------------
-        server_ct = self.testbed.add_server_container("srv", CROSS_SERVER_IP)
-        self.hi_server = SockperfUdpServer(server_ct, HI_PORT, reply=True)
-        self.lo_server = SockperfUdpServer(server_ct, LO_PORT, reply=True)
-        self.testbed.mark_high_priority(CROSS_SERVER_IP, HI_PORT)
+        # Container placement comes from the topology spec when one is
+        # given (first container = hi service, second = lo service);
+        # the legacy coarse fabric keeps the single "srv" container so
+        # pre-spec clusters build (and digest) byte-identically.
+        placement_spec = (cluster.topology.hosts[host_id].containers
+                          if self._fabric_mode else ())
+        if placement_spec:
+            hi_ct = self.testbed.add_server_container(
+                placement_spec[0].name, placement_spec[0].ip)
+            self._hi_ip = placement_spec[0].ip
+            if len(placement_spec) > 1:
+                lo_ct = self.testbed.add_server_container(
+                    placement_spec[1].name, placement_spec[1].ip)
+                self._lo_ip = placement_spec[1].ip
+            else:
+                lo_ct, self._lo_ip = hi_ct, self._hi_ip
+            for extra in placement_spec[2:]:
+                self.testbed.add_server_container(extra.name, extra.ip)
+        else:
+            hi_ct = lo_ct = self.testbed.add_server_container(
+                "srv", CROSS_SERVER_IP)
+            self._hi_ip = self._lo_ip = CROSS_SERVER_IP
+        self.hi_server = SockperfUdpServer(hi_ct, HI_PORT, reply=True)
+        self.lo_server = SockperfUdpServer(lo_ct, LO_PORT, reply=True)
+        self.testbed.mark_high_priority(self._hi_ip, HI_PORT)
         self.bg_server = None
         self.bg_flood = None
         if cluster.local_bg_pps > 0:
-            self.bg_server = SockperfUdpServer(server_ct, BG_PORT,
+            self.bg_server = SockperfUdpServer(lo_ct, BG_PORT,
                                                reply=False)
             bg_src = self.testbed.add_client_container("bg-src", "10.0.0.100")
             self.bg_flood = SockperfUdpFlood(
                 self.sim, self.testbed.client, self.testbed.overlay, bg_src,
-                CROSS_SERVER_IP, BG_PORT, rate_pps=cluster.local_bg_pps)
+                self._lo_ip, BG_PORT, rate_pps=cluster.local_bg_pps)
 
         # --- cross-traffic plumbing -----------------------------------
         self.outbox: List[WirePacket] = []
@@ -102,7 +129,8 @@ class HostCell:
                 pseudo = self.testbed.add_client_container(
                     f"xc-{cls}-{src}", f"10.1.{src}.{octet}")
                 self._cross_senders[(src, cls)] = RemoteRequestSender(
-                    client, self.testbed.overlay, pseudo, CROSS_SERVER_IP)
+                    client, self.testbed.overlay, pseudo,
+                    self._hi_ip if cls == "hi" else self._lo_ip)
                 client.on_port(
                     _src_port(cls, src),
                     lambda inner, src=src, cls=cls:
@@ -148,6 +176,19 @@ class HostCell:
     def _fabric_send(self, dst: int, cls: str, kind: str, seq: int,
                      sent_at: int, payload_len: int) -> None:
         now = self.sim.now
+        if self._fabric_mode:
+            # Multi-hop fabric: serialization and queueing happen hop by
+            # hop in the executor's FabricNetwork, which rewrites the
+            # placeholder arrival.  The placeholder is the lookahead
+            # lower bound, so even an (unexpected) untransited delivery
+            # could never violate causality.
+            self.outbox.append(WirePacket(
+                src_host=self.host_id, dst_host=dst, cls=cls, kind=kind,
+                seq=seq, departure_ns=now,
+                arrival_ns=now + self._lookahead_ns,
+                payload_len=payload_len, sent_at=sent_at))
+            self.n_outbox += 1
+            return
         wire_len = payload_len + CROSS_HEADER_BYTES
         start = max(now, self._fabric_busy.get(dst, 0))
         finish = start + int(wire_len / self.cluster.fabric_bytes_per_ns)

@@ -19,7 +19,7 @@ simulate their windows concurrently and synchronize only at barriers.
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.overlay.wirefmt import WirePacket, from_wire, to_wire
 from repro.shard.cluster import ClusterConfig
@@ -28,11 +28,25 @@ from repro.shard.hostcell import HostCell
 __all__ = ["ShardWorker", "PipeShardWorker", "partition_hosts"]
 
 
-def partition_hosts(n_hosts: int, shards: int) -> List[List[int]]:
-    """Contiguous, balanced host blocks (shard i gets block i)."""
+def partition_hosts(n_hosts: int, shards: int,
+                    topology: Optional[object] = None) -> List[List[int]]:
+    """Contiguous, balanced host blocks (shard i gets block i).
+
+    With a *topology* spec, block boundaries snap to rack (ToR uplink)
+    boundaries when that keeps every block non-empty: hosts under one
+    ToR talk over the cheapest paths, so co-locating a rack in one
+    worker minimizes nothing *semantically* (results are partition-
+    independent) but keeps the partition aligned with the fabric's
+    natural locality.  Partitioning never changes results — only which
+    process simulates which host.
+    """
     if shards < 1:
         raise ValueError("shards must be >= 1")
     shards = min(shards, n_hosts)
+    if topology is not None:
+        racks = _rack_groups(topology)
+        if len(racks) >= shards:
+            return _pack_groups(racks, shards, n_hosts)
     base, rem = divmod(n_hosts, shards)
     blocks: List[List[int]] = []
     start = 0
@@ -40,6 +54,42 @@ def partition_hosts(n_hosts: int, shards: int) -> List[List[int]]:
         size = base + (1 if i < rem else 0)
         blocks.append(list(range(start, start + size)))
         start += size
+    return blocks
+
+
+def _rack_groups(topology) -> List[List[int]]:
+    """Host ids grouped by attach switch, in host-id order."""
+    groups: List[List[int]] = []
+    index: Dict[str, int] = {}
+    for host in topology.hosts:
+        key = host.attach or host.name
+        if key not in index:
+            index[key] = len(groups)
+            groups.append([])
+        groups[index[key]].append(host.id)
+    return groups
+
+
+def _pack_groups(groups: List[List[int]], shards: int,
+                 n_hosts: int) -> List[List[int]]:
+    """Distribute contiguous groups into *shards* balanced blocks."""
+    blocks: List[List[int]] = [[] for _ in range(shards)]
+    placed = 0
+    index = 0
+    for position, group in enumerate(groups):
+        remaining_groups = len(groups) - position
+        remaining_blocks = shards - index
+        # Move on when this block met its proportional share — but never
+        # leave more empty blocks than groups left to fill them.
+        if (blocks[index] and remaining_blocks > 1
+                and placed + len(group) > round((index + 1)
+                                                * n_hosts / shards)
+                and remaining_groups >= remaining_blocks):
+            index += 1
+        elif blocks[index] and remaining_groups < remaining_blocks:
+            index += 1
+        blocks[index].extend(group)
+        placed += len(group)
     return blocks
 
 
