@@ -92,6 +92,19 @@ def print_table(baseline, current, metric):
     print("|---|---:|---:|---:|")
     base_wl = baseline.get("workloads", {})
     cur_wl = current.get("workloads", {})
+
+    def fmt(stats):
+        # Suites that record repeated-run samples per workload (the
+        # fabric file does) get an (n=...) marker so the reader knows
+        # the number shown is a median, not a singleton.
+        value = stats.get(metric)
+        if not value:
+            return "—"
+        samples = stats.get(metric + "_samples")
+        if isinstance(samples, list) and len(samples) >= 2:
+            return f"{value:,.0f} (n={len(samples)})"
+        return f"{value:,.0f}"
+
     for name in sorted(set(base_wl) | set(cur_wl)):
         old = base_wl.get(name, {}).get(metric)
         new = cur_wl.get(name, {}).get(metric)
@@ -99,8 +112,8 @@ def print_table(baseline, current, metric):
             delta = f"{(new - old) / old * 100:+.1f}%"
         else:
             delta = "n/a"
-        fmt = lambda v: f"{v:,.0f}" if v else "—"
-        print(f"| {name} | {fmt(old)} | {fmt(new)} | {delta} |")
+        print(f"| {name} | {fmt(base_wl.get(name, {}))} "
+              f"| {fmt(cur_wl.get(name, {}))} | {delta} |")
     print()
     print("_Different machines (CI runner vs baseline box): deltas are "
           "informational; only the wide `--gate` tripwire fails the job._")

@@ -22,10 +22,19 @@ from repro.overlay.topology import (
     OverlayNetwork,
     register_remote_container,
 )
-from repro.overlay.wirefmt import WirePacket, from_wire, to_wire, wire_sort_key
+from repro.overlay.wirefmt import (
+    EMPTY_FRAME,
+    WireBatch,
+    WirePacket,
+    decode_batch,
+    from_wire,
+    to_wire,
+    wire_sort_key,
+)
 
 __all__ = [
     "Container",
+    "EMPTY_FRAME",
     "Host",
     "HostOverlay",
     "OverlayEndpoint",
@@ -33,7 +42,9 @@ __all__ = [
     "RemoteContainer",
     "RemoteHost",
     "Wire",
+    "WireBatch",
     "WirePacket",
+    "decode_batch",
     "from_wire",
     "register_remote_container",
     "to_wire",

@@ -11,6 +11,9 @@ Usage::
     python -m repro.perf --fabric-only    # fat-tree priority-survival suite
     python -m repro.perf --label fastlane # tag the recorded run
     python -m repro.perf --profile prof.pstats  # cProfile the canonical cell
+    python -m repro.perf --fabric-only --profile fab.pstats
+                                          # profile the fabric cell instead
+                                          # (+ fab.speedscope.json artifact)
     python -m repro.perf --telemetry-dir out/   # metered+profiled canonical
                                                 # cell: .prom/.folded/
                                                 # .speedscope.json/.metrics.json
@@ -34,7 +37,7 @@ from typing import Dict, Optional
 
 from repro.perf.engine_bench import run_engine_suite
 from repro.perf.experiment_bench import run_experiment_suite
-from repro.perf.fabric_bench import run_fabric_suite
+from repro.perf.fabric_bench import CANONICAL_FABRIC, run_fabric_suite
 from repro.perf.packet_bench import (
     CANONICAL_PACKET,
     packet_config,
@@ -114,6 +117,48 @@ def _profile(out_path: Path, *, quick: bool) -> None:
     stats.print_stats(15)
 
 
+def _profile_fabric(out_path: Path, *, quick: bool) -> None:
+    """Profile the canonical fabric cell: pstats dump + speedscope.
+
+    Two passes over the same workload, each under the instrument it is
+    honest for: cProfile (exact call counts, heavy tracing overhead)
+    writes *out_path*, and a wall-clock stack sampler (~1 ms, near-zero
+    overhead — see :mod:`repro.perf.wallprof`) writes the speedscope
+    JSON next to it.  The fabric-smoke CI job uploads both.
+    """
+    import cProfile
+    import pstats
+
+    from repro.perf.fabric_bench import fabric_config
+    from repro.perf.wallprof import WallClockSampler
+    from repro.prism.mode import StackMode
+    from repro.shard.executor import run_cluster
+
+    config = fabric_config(StackMode.VANILLA, quick=quick)
+    run_cluster(fabric_config(StackMode.VANILLA, quick=True),
+                shards=1)  # warm up
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_cluster(config, shards=1)
+    profiler.disable()
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    profiler.dump_stats(str(out_path))
+
+    sampler = WallClockSampler()
+    with sampler:
+        run_cluster(config, shards=1)
+    scope_path = out_path.with_name(
+        out_path.stem + ".speedscope.json")
+    sampler.write_speedscope(scope_path, name=CANONICAL_FABRIC)
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print(f"profile: {CANONICAL_FABRIC} -> {out_path}")
+    print(f"speedscope ({sampler.samples_taken} wall samples) -> "
+          f"{scope_path}")
+    stats.print_stats(15)
+
+
 def _telemetry(out_dir: Path, *, quick: bool) -> None:
     """Metered+profiled run of the canonical packet-path cell.
 
@@ -157,7 +202,10 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", metavar="PSTATS", default=None,
                         help="instead of benchmarking, cProfile the "
                              "canonical packet-path workload and write a "
-                             "pstats dump to this path")
+                             "pstats dump to this path; with "
+                             "--fabric-only, profile the canonical "
+                             "fabric cell instead and also write a "
+                             "wall-clock speedscope JSON next to it")
     parser.add_argument("--telemetry-dir", metavar="DIR", default=None,
                         help="instead of benchmarking, run the canonical "
                              "packet-path workload metered+profiled and "
@@ -172,7 +220,10 @@ def main(argv=None) -> int:
                      "(omit all to run everything)")
 
     if args.profile is not None:
-        _profile(Path(args.profile), quick=args.quick)
+        if args.fabric_only:
+            _profile_fabric(Path(args.profile), quick=args.quick)
+        else:
+            _profile(Path(args.profile), quick=args.quick)
         return 0
 
     if args.telemetry_dir is not None:

@@ -19,10 +19,14 @@ A cell contains:
   cross-host requests as overlay packets and capture the server's
   replies back into the outbox.
 
-Cross-host packets leave as :class:`~repro.overlay.wirefmt.WirePacket`
-records with sender-side fabric serialization (per-destination FIFO,
-computed locally — partition-independent) plus the fabric propagation
-latency, which the executor uses as its conservative lookahead horizon.
+Cross-host packets leave as rows of a columnar
+:class:`~repro.overlay.wirefmt.WireBatch` with sender-side fabric
+serialization (per-destination FIFO, computed locally —
+partition-independent) plus the fabric propagation latency, which the
+executor uses as its conservative lookahead horizon.  Ingress is
+columnar too: routed rows are scheduled straight from the batch
+columns, so no :class:`~repro.overlay.wirefmt.WirePacket` object exists
+anywhere on the steady-state cross-host path.
 """
 
 from __future__ import annotations
@@ -35,7 +39,8 @@ from repro.apps.sockperf import PingRecord, SockperfUdpFlood, SockperfUdpServer
 from repro.bench.testbed import build_testbed
 from repro.faults import FaultInjector
 from repro.metrics.recorder import CpuUtilizationSampler, LatencyRecorder
-from repro.overlay.wirefmt import WirePacket
+from repro.overlay.wirefmt import (CLS_CODE, CLS_NAMES, KIND_CODE,
+                                   WireBatch, WirePacket)
 from repro.shard.cluster import CROSS_HEADER_BYTES, ClusterConfig
 from repro.sim.rng import SeededRng
 
@@ -115,7 +120,7 @@ class HostCell:
                 self._lo_ip, BG_PORT, rate_pps=cluster.local_bg_pps)
 
         # --- cross-traffic plumbing -----------------------------------
-        self.outbox: List[WirePacket] = []
+        self.outbox: WireBatch = WireBatch()
         self._fabric_busy: Dict[int, int] = {}
         #: Rematerialization senders for incoming requests, one per
         #: (origin host, class): a pseudo remote container per flow so
@@ -182,22 +187,20 @@ class HostCell:
             # placeholder arrival.  The placeholder is the lookahead
             # lower bound, so even an (unexpected) untransited delivery
             # could never violate causality.
-            self.outbox.append(WirePacket(
-                src_host=self.host_id, dst_host=dst, cls=cls, kind=kind,
-                seq=seq, departure_ns=now,
-                arrival_ns=now + self._lookahead_ns,
-                payload_len=payload_len, sent_at=sent_at))
+            self.outbox.append(self.host_id, dst, CLS_CODE[cls],
+                               KIND_CODE[kind], seq, now,
+                               now + self._lookahead_ns,
+                               payload_len, sent_at)
             self.n_outbox += 1
             return
         wire_len = payload_len + CROSS_HEADER_BYTES
         start = max(now, self._fabric_busy.get(dst, 0))
         finish = start + int(wire_len / self.cluster.fabric_bytes_per_ns)
         self._fabric_busy[dst] = finish
-        self.outbox.append(WirePacket(
-            src_host=self.host_id, dst_host=dst, cls=cls, kind=kind,
-            seq=seq, departure_ns=now,
-            arrival_ns=finish + self.cluster.fabric_latency_ns,
-            payload_len=payload_len, sent_at=sent_at))
+        self.outbox.append(self.host_id, dst, CLS_CODE[cls],
+                           KIND_CODE[kind], seq, now,
+                           finish + self.cluster.fabric_latency_ns,
+                           payload_len, sent_at)
         self.n_outbox += 1
 
     def _on_cross_reply(self, src: int, cls: str, inner) -> None:
@@ -211,41 +214,61 @@ class HostCell:
     # ------------------------------------------------------------------
     # Fabric ingress (executor barrier)
     # ------------------------------------------------------------------
-    def deliver(self, packets: List[WirePacket]) -> None:
-        """Accept routed cross-host packets (called at a barrier).
+    def deliver_rows(self, batch: WireBatch, rows: List[int]) -> None:
+        """Accept routed cross-host rows of *batch* (called at a barrier).
 
         Every arrival must be strictly in this cell's future — the
         conservative-lookahead guarantee.  A violation here means the
-        executor's window exceeded the fabric latency.
+        executor's window exceeded the fabric latency.  Delivery is
+        columnar: each row schedules its injection straight from the
+        batch columns, with no per-packet object built.
         """
         now = self.sim.now
-        for wp in packets:
-            if wp.arrival_ns <= now:
+        schedule_at = self.sim.schedule_at
+        inject = self._inject_row
+        arrival = batch.arrival
+        src = batch.src
+        cls = batch.cls
+        kind = batch.kind
+        seq = batch.seq
+        payload_len = batch.payload_len
+        sent_at = batch.sent_at
+        for i in rows:
+            t = arrival[i]
+            if t <= now:
                 raise RuntimeError(
                     f"lookahead violation at host {self.host_id}: packet "
-                    f"arriving t={wp.arrival_ns} delivered at t={now}")
-            self.sim.schedule_at(wp.arrival_ns, self._inject, wp)
-            self.n_delivered += 1
+                    f"arriving t={t} delivered at t={now}")
+            schedule_at(t, inject, src[i], cls[i], kind[i], seq[i],
+                        payload_len[i], sent_at[i])
+        self.n_delivered += len(rows)
 
-    def _inject(self, wp: WirePacket) -> None:
+    def deliver(self, packets: List[WirePacket]) -> None:
+        """Object-level form of :meth:`deliver_rows` (tests/tooling)."""
+        batch = WireBatch.from_packets(packets)
+        self.deliver_rows(batch, list(range(len(batch))))
+
+    def _inject_row(self, src: int, cls_code: int, kind_code: int,
+                    seq: int, payload_len: int, sent_at: int) -> None:
         self.n_injected += 1
-        if wp.kind == "req":
-            sender = self._cross_senders[(wp.src_host, wp.cls)]
+        cls = CLS_NAMES[cls_code]
+        if kind_code == 1:  # KIND_NAMES[1] == "req"
+            sender = self._cross_senders[(src, cls)]
             sender.send_udp(
-                src_port=_src_port(wp.cls, wp.src_host),
-                dst_port=HI_PORT if wp.cls == "hi" else LO_PORT,
-                payload=PingRecord(seq=wp.seq, sent_at=wp.sent_at),
-                payload_len=wp.payload_len, created_at=self.sim.now)
+                src_port=_src_port(cls, src),
+                dst_port=HI_PORT if cls_code == 0 else LO_PORT,
+                payload=PingRecord(seq=seq, sent_at=sent_at),
+                payload_len=payload_len, created_at=self.sim.now)
         else:
-            population = self.populations.get((wp.src_host, wp.cls))
+            population = self.populations.get((src, cls))
             if population is None:
                 raise RuntimeError(
                     f"host {self.host_id}: reply for unknown flow "
-                    f"->{wp.src_host}:{wp.cls}")
-            population.on_reply(wp.seq)
+                    f"->{src}:{cls}")
+            population.on_reply(seq)
 
-    def drain_outbox(self) -> List[WirePacket]:
-        out, self.outbox = self.outbox, []
+    def drain_outbox(self) -> WireBatch:
+        out, self.outbox = self.outbox, WireBatch()
         return out
 
     # ------------------------------------------------------------------

@@ -8,8 +8,16 @@ protocol (``post_step``/``wait_step``/``finalize``/``close``):
   implementation the process-backed path must match bit-for-bit;
 - :class:`PipeShardWorker` runs the same :class:`ShardWorker` inside a
   ``multiprocessing.Process``, exchanging windows over a duplex pipe.
-  Cross-shard packets travel as :func:`~repro.overlay.wirefmt.to_wire`
-  tuples, never as live simulation objects.
+  Cross-shard packets travel as one columnar
+  :class:`~repro.overlay.wirefmt.WireBatch` frame per window, never as
+  live simulation objects (and never one pickled tuple per packet).
+
+The step payload at the protocol level is ``Optional[WireBatch]`` —
+``None`` means "no cross-shard traffic this window".  In-process
+workers hand batches through untouched; only the pipe boundary encodes
+(:meth:`WireBatch.encode` / :meth:`WireBatch.decode`), so the pickled
+window is a handful of flat ``array('q')`` buffers.  Empty windows ship
+the shared ``EMPTY_FRAME`` constant and skip framing entirely.
 
 The split-phase protocol is what buys parallelism: the executor posts
 one window to *every* worker, then waits for all of them — shards
@@ -21,7 +29,7 @@ from __future__ import annotations
 import multiprocessing as mp
 from typing import Dict, List, Optional, Sequence
 
-from repro.overlay.wirefmt import WirePacket, from_wire, to_wire
+from repro.overlay.wirefmt import EMPTY_FRAME, WireBatch
 from repro.shard.cluster import ClusterConfig
 from repro.shard.hostcell import HostCell
 
@@ -100,14 +108,14 @@ class ShardWorker:
         self.host_ids = list(host_ids)
         self.cells: Dict[int, HostCell] = {
             i: HostCell(cluster, i) for i in self.host_ids}
-        self._step_result: List[tuple] = []
+        self._step_result: Optional[WireBatch] = None
 
     # -- split-phase protocol ------------------------------------------
-    def post_step(self, horizon: int, inbox_frames: List[tuple]) -> None:
-        self._step_result = self._step(horizon, inbox_frames)
+    def post_step(self, horizon: int, inbox: Optional[WireBatch]) -> None:
+        self._step_result = self._step(horizon, inbox)
 
-    def wait_step(self) -> List[tuple]:
-        out, self._step_result = self._step_result, []
+    def wait_step(self) -> Optional[WireBatch]:
+        out, self._step_result = self._step_result, None
         return out
 
     def finalize(self) -> Dict[int, dict]:
@@ -117,29 +125,42 @@ class ShardWorker:
         pass
 
     # -- mechanics ------------------------------------------------------
-    def _step(self, horizon: int, inbox_frames: List[tuple]) -> List[tuple]:
+    def _step(self, horizon: int,
+              inbox: Optional[WireBatch]) -> Optional[WireBatch]:
         """Deliver the inbox, advance every cell, drain the outboxes.
 
-        The inbox arrives globally sorted (executor contract); packets
-        are delivered per destination in that order, so each cell's
-        event insertion order is independent of partitioning.
+        The inbox arrives globally sorted (executor contract); rows are
+        delivered per destination in that order, so each cell's event
+        insertion order is independent of partitioning.  Delivery is
+        columnar — no :class:`WirePacket` is ever rematerialized on the
+        ingress path.
         """
-        by_dst: Dict[int, List[WirePacket]] = {}
-        for frame in inbox_frames:
-            wp = from_wire(frame)
-            by_dst.setdefault(wp.dst_host, []).append(wp)
-        for dst, packets in by_dst.items():
-            cell = self.cells.get(dst)
-            if cell is None:
-                raise RuntimeError(
-                    f"shard holding {self.host_ids} got packets "
-                    f"for host {dst}")
-            cell.deliver(packets)
-        out: List[tuple] = []
+        cells = self.cells
+        if inbox is not None and len(inbox):
+            by_dst: Dict[int, List[int]] = {}
+            for row, dst in enumerate(inbox.dst):
+                rows = by_dst.get(dst)
+                if rows is None:
+                    by_dst[dst] = [row]
+                else:
+                    rows.append(row)
+            for dst, rows in by_dst.items():
+                cell = cells.get(dst)
+                if cell is None:
+                    raise RuntimeError(
+                        f"shard holding {self.host_ids} got packets "
+                        f"for host {dst}")
+                cell.deliver_rows(inbox, rows)
+        out: Optional[WireBatch] = None
         for i in self.host_ids:
-            cell = self.cells[i]
+            cell = cells[i]
             cell.run_to(horizon)
-            out.extend(to_wire(wp) for wp in cell.drain_outbox())
+            drained = cell.drain_outbox()
+            if len(drained):
+                if out is None:
+                    out = drained
+                else:
+                    out.extend(drained)
         return out
 
 
@@ -152,9 +173,13 @@ def _pipe_worker_main(conn, cluster: ClusterConfig,
         while True:
             tag, payload = conn.recv()
             if tag == "step":
-                horizon, frames = payload
-                worker.post_step(horizon, frames)
-                conn.send(("stepped", worker.wait_step()))
+                horizon, frame = payload
+                inbox = (WireBatch.decode(frame)
+                         if frame[1] else None)
+                worker.post_step(horizon, inbox)
+                out = worker.wait_step()
+                conn.send(("stepped",
+                           out.encode() if out is not None else EMPTY_FRAME))
             elif tag == "finish":
                 conn.send(("finished", worker.finalize()))
             elif tag == "exit":
@@ -171,7 +196,14 @@ def _pipe_worker_main(conn, cluster: ClusterConfig,
 
 
 class PipeShardWorker:
-    """A :class:`ShardWorker` in its own process, driven over a pipe."""
+    """A :class:`ShardWorker` in its own process, driven over a pipe.
+
+    Windows cross the pipe as encoded v2 frames; the parent-facing API
+    still speaks ``Optional[WireBatch]`` so the executor never sees the
+    framing.  A child that dies (killed, OOM, un-pickleable crash)
+    surfaces as a :class:`RuntimeError` naming the worker and its exit
+    code at the next protocol step — never as a silent hang.
+    """
 
     def __init__(self, cluster: ClusterConfig, host_ids: Sequence[int]) -> None:
         self.host_ids = list(host_ids)
@@ -188,7 +220,17 @@ class PipeShardWorker:
         self._expect("ready")
 
     def _expect(self, tag: str):
-        got, payload = self._conn.recv()
+        try:
+            got, payload = self._conn.recv()
+        except (EOFError, ConnectionResetError, OSError):
+            # The child died without sending an ("error", ...) message —
+            # e.g. SIGKILL or a segfault.  Reap it so close() returns
+            # immediately instead of waiting out join(timeout).
+            self._proc.join(timeout=5)
+            code = self._proc.exitcode
+            raise RuntimeError(
+                f"shard worker {self.host_ids} died without a reply "
+                f"(exitcode {code})") from None
         if got == "error":
             raise RuntimeError(
                 f"shard worker {self.host_ids} failed: {payload}")
@@ -198,20 +240,33 @@ class PipeShardWorker:
                 f"got {got!r}")
         return payload
 
-    def post_step(self, horizon: int, inbox_frames: List[tuple]) -> None:
-        self._conn.send(("step", (horizon, inbox_frames)))
+    def post_step(self, horizon: int, inbox: Optional[WireBatch]) -> None:
+        frame = inbox.encode() if inbox is not None else EMPTY_FRAME
+        try:
+            self._conn.send(("step", (horizon, frame)))
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # the matching wait_step()/_expect() reports the death
 
-    def wait_step(self) -> List[tuple]:
-        return self._expect("stepped")
+    def wait_step(self) -> Optional[WireBatch]:
+        frame = self._expect("stepped")
+        return WireBatch.decode(frame) if frame[1] else None
 
     def finalize(self) -> Dict[int, dict]:
-        self._conn.send(("finish", None))
+        try:
+            self._conn.send(("finish", None))
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # fall through to _expect, which reports the death
         return self._expect("finished")
 
     def close(self) -> None:
+        if not self._proc.is_alive():
+            # Already dead (crash path): reap without the long join.
+            self._proc.join(timeout=1)
+            self._conn.close()
+            return
         try:
             self._conn.send(("exit", None))
-        except (BrokenPipeError, OSError):
+        except (BrokenPipeError, ConnectionResetError, OSError):
             pass
         self._proc.join(timeout=10)
         if self._proc.is_alive():

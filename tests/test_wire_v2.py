@@ -1,0 +1,254 @@
+"""Wire format v2: columnar batches, fast-path equivalence, golden digests.
+
+The cross-shard fast path (columnar ``WireBatch`` frames, precomputed
+fabric route tables, zero-rematerialization barriers) is only allowed
+to be *faster* — every observable result must stay byte-identical to
+the v1 per-packet object path.  These tests pin that contract:
+
+- batch encode/decode is an exact round trip (property-tested),
+  including through pickle (the worker-pipe representation);
+- v1 per-packet frames are rejected with a clear version error;
+- the frame-level sort is byte-equivalent to sorting ``WirePacket``
+  objects with :func:`wire_sort_key`, including stable tie-breaks;
+- the BFS-based ``min_path_latency_ns`` equals brute-force path
+  enumeration on every topology family;
+- cluster digests are identical at shards 1/2/4, in-process and
+  subprocess, and still match the digest committed in
+  ``BENCH_fabric.json`` from before the fast path landed;
+- a shard worker killed mid-run surfaces a clean ``RuntimeError``
+  instead of hanging ``close()``.
+"""
+
+import json
+import os
+import pickle
+import signal
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.network import equal_cost_paths, min_path_latency_ns
+from repro.fabric.spec import Topology
+from repro.overlay.wirefmt import (
+    CLS_NAMES,
+    EMPTY_FRAME,
+    KIND_NAMES,
+    WIRE_VERSION,
+    WireBatch,
+    WirePacket,
+    decode_batch,
+    wire_sort_key,
+)
+from repro.shard.cluster import ClusterConfig, cluster_digest
+from repro.shard.executor import run_cluster
+from repro.shard.worker import PipeShardWorker
+from repro.sim.units import MS
+
+FAT8 = Topology.fat_tree(4, hosts=8)
+
+wire_packets = st.builds(
+    WirePacket,
+    src_host=st.integers(min_value=0, max_value=7),
+    dst_host=st.integers(min_value=8, max_value=15),
+    cls=st.sampled_from(CLS_NAMES),
+    kind=st.sampled_from(KIND_NAMES),
+    seq=st.integers(min_value=0, max_value=2**40),
+    departure_ns=st.integers(min_value=0, max_value=2**50),
+    arrival_ns=st.integers(min_value=2**50, max_value=2**51),
+    payload_len=st.integers(min_value=0, max_value=9000),
+    sent_at=st.integers(min_value=0, max_value=2**50),
+)
+
+
+class TestBatchRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(wire_packets, max_size=40))
+    def test_encode_decode_is_identity(self, packets):
+        batch = WireBatch.from_packets(packets)
+        frame = batch.encode()
+        assert frame[0] == WIRE_VERSION
+        assert frame[1] == len(packets)
+        assert decode_batch(frame).packets() == packets
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(wire_packets, max_size=40))
+    def test_round_trip_through_pickle(self, packets):
+        # The frame is exactly what crosses the worker pipe.
+        frame = pickle.loads(pickle.dumps(WireBatch.from_packets(packets)
+                                          .encode()))
+        assert decode_batch(frame).packets() == packets
+
+    def test_empty_frame_is_shared_and_decodes_empty(self):
+        assert EMPTY_FRAME[1] == 0
+        assert len(decode_batch(EMPTY_FRAME)) == 0
+        assert WireBatch().encode() == EMPTY_FRAME
+
+    def test_extend_and_take(self):
+        a = [WirePacket(0, 1, "hi", "req", i, i, i + 10, 64, i)
+             for i in range(4)]
+        b = [WirePacket(2, 3, "lo", "reply", i, i, i + 10, 32, i)
+             for i in range(3)]
+        batch = WireBatch.from_packets(a)
+        batch.extend(WireBatch.from_packets(b))
+        assert batch.packets() == a + b
+        assert batch.take([5, 0, 6]).packets() == [b[1], a[0], b[2]]
+
+    def test_v1_frame_rejected_with_version_error(self):
+        v1_frame = (1, 0, 7, "hi", "req", 0, 0, 50_000, 64, 0)
+        with pytest.raises(ValueError, match="bad wire frame version: 1"):
+            decode_batch(v1_frame)
+        with pytest.raises(ValueError, match="wire format v2"):
+            decode_batch(("bogus",))
+
+    def test_corrupt_columns_rejected(self):
+        frame = list(WireBatch.from_packets(
+            [WirePacket(0, 1, "hi", "req", 0, 0, 10, 64, 0)]).encode())
+        frame[1] = 2  # length disagrees with the columns
+        with pytest.raises(ValueError, match="column lengths"):
+            decode_batch(tuple(frame))
+        # arrival before departure
+        bad = WireBatch()
+        bad.append(0, 1, 0, 1, 0, 100, 50, 64, 0)
+        with pytest.raises(ValueError, match="before it"):
+            decode_batch(bad.encode())
+        # self-routed
+        bad = WireBatch()
+        bad.append(3, 3, 0, 1, 0, 0, 50, 64, 0)
+        with pytest.raises(ValueError, match="routed to itself"):
+            decode_batch(bad.encode())
+
+
+class TestBatchSortEquivalence:
+    # Narrow ranges force heavy key collisions, exercising tie-breaks
+    # and the stable-sort emulation.
+    colliding = st.builds(
+        WirePacket,
+        src_host=st.integers(min_value=0, max_value=2),
+        dst_host=st.integers(min_value=3, max_value=5),
+        cls=st.sampled_from(CLS_NAMES),
+        kind=st.sampled_from(KIND_NAMES),
+        seq=st.integers(min_value=0, max_value=3),
+        departure_ns=st.integers(min_value=0, max_value=4),
+        arrival_ns=st.integers(min_value=5, max_value=9),
+        payload_len=st.just(64),
+        sent_at=st.integers(min_value=0, max_value=2),
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(colliding, max_size=60))
+    def test_sort_wire_matches_object_sort(self, packets):
+        batch = WireBatch.from_packets(packets)
+        batch.sort_wire()
+        assert batch.packets() == sorted(packets, key=wire_sort_key)
+
+    def test_code_order_equals_string_order(self):
+        # sort_wire compares small-int codes where v1 compared strings;
+        # the tables must enumerate in lexicographic order for the two
+        # sorts to agree.
+        assert list(CLS_NAMES) == sorted(CLS_NAMES)
+        assert list(KIND_NAMES) == sorted(KIND_NAMES)
+
+
+class TestMinPathLatency:
+    @pytest.mark.parametrize("spec", [
+        Topology.two_host(),
+        Topology.mesh(5),
+        Topology.fat_tree(4),
+    ], ids=["two_host", "mesh", "fat_tree_k4"])
+    def test_bfs_matches_brute_force_enumeration(self, spec):
+        brute = None
+        for i, a in enumerate(spec.hosts):
+            for b in spec.hosts[i + 1:]:
+                for path in equal_cost_paths(spec, a.name, b.name):
+                    latency = sum(spec.links[index].latency_ns
+                                  for index, _direction in path)
+                    if brute is None or latency < brute:
+                        brute = latency
+        assert min_path_latency_ns(spec) == brute
+
+    def test_paths_are_minimum_hop_and_deterministic(self):
+        first = equal_cost_paths(FAT8, "h0", "h7")
+        assert first == equal_cost_paths(FAT8, "h0", "h7")
+        lengths = {len(path) for path in first}
+        assert len(lengths) == 1  # all equal cost (hops)
+
+
+class TestGoldenDigests:
+    def test_digest_identical_at_shards_1_2_4(self):
+        config = ClusterConfig(hosts=8, users=600, duration_ns=4 * MS,
+                               warmup_ns=1 * MS, seed=3, topology=FAT8)
+        one = run_cluster(config, shards=1)
+        two = run_cluster(config, shards=2, processes=False)
+        four = run_cluster(config, shards=4, processes=True)
+        digests = {cluster_digest(r) for r in (one, two, four)}
+        assert len(digests) == 1, digests
+        assert one.fabric == two.fabric == four.fabric
+
+    def test_digest_matches_committed_fabric_baseline(self):
+        # BENCH_fabric.json predates the columnar fast path; matching
+        # its recorded digest proves the refactor changed nothing
+        # observable.
+        bench = Path(__file__).resolve().parent.parent / "BENCH_fabric.json"
+        if not bench.exists():
+            pytest.skip("no committed BENCH_fabric.json")
+        with bench.open() as fh:
+            runs = json.load(fh)["runs"]
+        committed = runs[0]["workloads"]["vanilla"]["digest"]
+        assert all(run["workloads"]["vanilla"]["digest"] == committed
+                   for run in runs), "committed runs disagree"
+        from repro.perf.fabric_bench import fabric_config
+        from repro.prism.mode import StackMode
+        config = fabric_config(StackMode.VANILLA,
+                               quick=bool(runs[0].get("quick", True)))
+        assert cluster_digest(run_cluster(config, shards=1)) == committed
+
+
+class TestWorkerDeath:
+    def _tiny_config(self):
+        return ClusterConfig(hosts=2, users=20, duration_ns=2 * MS,
+                             warmup_ns=1 * MS, timeout_ns=5 * MS)
+
+    def test_killed_worker_raises_instead_of_hanging(self):
+        worker = PipeShardWorker(self._tiny_config(), [0])
+        try:
+            os.kill(worker._proc.pid, signal.SIGKILL)
+            worker._proc.join(timeout=5)
+            worker.post_step(1 * MS, None)
+            with pytest.raises(RuntimeError,
+                               match=r"died without a reply.*exitcode"):
+                worker.wait_step()
+        finally:
+            start = time.perf_counter()
+            worker.close()
+            # close() must take the already-dead fast path, not wait
+            # out join(timeout=10).
+            assert time.perf_counter() - start < 5
+
+    def test_killed_worker_surfaces_in_finalize(self):
+        worker = PipeShardWorker(self._tiny_config(), [0])
+        try:
+            worker.post_step(1 * MS, None)
+            assert worker.wait_step() is None or True  # drain one window
+            os.kill(worker._proc.pid, signal.SIGKILL)
+            worker._proc.join(timeout=5)
+            with pytest.raises(RuntimeError, match="died without a reply"):
+                worker.finalize()
+        finally:
+            worker.close()
+
+    def test_healthy_worker_still_round_trips(self):
+        worker = PipeShardWorker(self._tiny_config(), [0])
+        try:
+            worker.post_step(1 * MS, None)
+            out = worker.wait_step()
+            assert out is None or isinstance(out, WireBatch)
+            results = None
+            worker.post_step(2 * MS, None)
+            worker.wait_step()
+            results = worker.finalize()
+            assert set(results) == {0}
+        finally:
+            worker.close()
