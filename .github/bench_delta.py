@@ -6,8 +6,11 @@ Usage: bench_delta.py <baseline.json> <current.json> [--gate PCT]
 Compares the most recent run in each file workload-by-workload and
 prints GitHub-flavoured markdown (intended for $GITHUB_STEP_SUMMARY).
 Handles the engine files (``events_per_sec``), the packet-path files
-(``packets_per_sec``) and the fabric files (``replies_per_sec``); the
-per-workload metric is detected from the data.
+(``packets_per_sec``) and the fabric/shard files (``replies_per_sec``);
+the per-workload metric is detected from the data.  Suite-level
+determinism booleans (``digests_identical``, ``conservation_exact``)
+are asserted whenever recorded — those fail the job even without
+``--gate``.
 
 Without ``--gate`` the output is informational only — CI perf boxes are
 too noisy to gate tightly; the enforced 3% budget is checked on
@@ -33,6 +36,13 @@ import sys
 
 #: Per-workload throughput keys, in detection order.
 METRIC_KEYS = ("events_per_sec", "packets_per_sec", "replies_per_sec")
+
+#: Suite-level determinism booleans (the shard and fabric suites record
+#: them).  A run that carries one must carry it *true*: a throughput
+#: number earned by changing the simulation's answer is a correctness
+#: bug wearing a perf costume, so these fail the job even without
+#: ``--gate``.
+IDENTITY_KEYS = ("digests_identical", "conservation_exact")
 
 
 def latest_run(path):
@@ -77,7 +87,12 @@ def print_table(baseline, current, metric):
     if "packets" in metric:
         suite = "Packet-path"
     elif "replies" in metric:
-        suite = "Fabric"
+        # The shard and fabric suites share the replies/s metric; the
+        # canonical workload name tells them apart.
+        canonical = str(baseline.get("canonical")
+                        or current.get("canonical") or "")
+        suite = "Shard scaling" if canonical.startswith("cluster") \
+            else "Fabric"
     else:
         suite = "Engine"
     print(f"### {suite} benchmark vs committed baseline")
@@ -117,6 +132,23 @@ def print_table(baseline, current, metric):
     print()
     print("_Different machines (CI runner vs baseline box): deltas are "
           "informational; only the wide `--gate` tripwire fails the job._")
+
+
+def check_identity(run, label):
+    """Non-zero when a recorded determinism boolean is false."""
+    failures = 0
+    for key in IDENTITY_KEYS:
+        value = run.get(key)
+        if value is None:
+            continue
+        if value:
+            print(f"identity: {label} `{key}` ok")
+        else:
+            print(f"**FAIL: {label} run recorded `{key}: false` — "
+                  f"results differ across shard counts or the books "
+                  f"don't balance**")
+            failures += 1
+    return failures
 
 
 def quartiles(samples):
@@ -209,9 +241,13 @@ def main(argv=None):
     if metric is None:
         return 0
     print_table(baseline, current, metric)
+    print()
+    identity_failures = (check_identity(baseline, "baseline")
+                         + check_identity(current, "current"))
     if args.gate is not None:
-        return check_gate(baseline, current, metric, args.gate)
-    return 0
+        gate = check_gate(baseline, current, metric, args.gate)
+        return gate or (1 if identity_failures else 0)
+    return 1 if identity_failures else 0
 
 
 if __name__ == "__main__":

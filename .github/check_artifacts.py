@@ -8,7 +8,8 @@ may legitimately hold generated output):
 
 1. **Artifact patterns** — trace/telemetry output (``*.trace.json``,
    ``*.prom``, ``*.folded``, ``*.speedscope.json``, ``*.metrics.json``,
-   ``*.pstats``) must never be committed; they are regenerated on demand
+   ``*.pstats``) and flow-record stores (``*.sqlite``, ``*.jsonl``)
+   must never be committed; they are regenerated on demand
    and bloat history (the repo once carried a stray 14 MB trace dump).
 2. **Size cap** — any tracked file above ``--max-bytes`` (default 1 MB)
    fails; committed inputs in this repo are all text and small.
@@ -31,6 +32,10 @@ ARTIFACT_PATTERNS = (
     "trace-smoke.json",
     "*.report.json",
     "fault-smoke.json",
+    # Flow-record stores (repro.flows sinks) are regenerated from any
+    # run with --flows; a committed one is always a stray export.
+    "*.sqlite",
+    "*.jsonl",
 )
 
 DEFAULT_MAX_BYTES = 1024 * 1024

@@ -22,6 +22,15 @@ Usage::
     python -m repro --cluster 8 --topology fat-tree --shards 2
                                       # k=4 fat-tree fabric with ECMP +
                                       # flowlet switching
+    python -m repro --cluster 8 --topology fat-tree \
+                    --flows run.sqlite --flow-sample 64
+                                      # sampled flow-record export into a
+                                      # queryable SQLite store (.jsonl and
+                                      # 'mem' sinks work too)
+    python -m repro --flows-query top:10 run.sqlite
+    python -m repro --flows-query classes run.sqlite
+    python -m repro --flows-query links run.sqlite
+    python -m repro --flows-query diff base.sqlite head.jsonl
 """
 
 from __future__ import annotations
@@ -125,6 +134,39 @@ def _instrumented_run(args) -> None:
           f"{total_ms:.1f} ms simulated CPU attributed")
 
 
+def _export_flows(flows, out: str, label: str) -> None:
+    """Write a result's flow block to the sink *out* and summarize it."""
+    from repro.flows import export_flows
+
+    export_flows(flows, out, label=label)
+    s, c = flows["sampler"], flows["cache"]
+    print(f"flows: records={flows['record_count']} "
+          f"sampled={s['sampled']}/{s['seen']} "
+          f"(1 in {flows['sample_rate']}) sites={s['sites']} "
+          f"evicted={c['evicted']} "
+          f"expired={c['expired_idle'] + c['expired_active']}")
+    print(f"flow record digest: {flows['record_digest']}")
+    print(f"flow records written to {out} "
+          f"(query with: python -m repro --flows-query top:10 {out})")
+
+
+def _flows_query(args, parser) -> int:
+    """Run one canned offline query against exported flow stores."""
+    from repro.flows.query import QUERIES, run_query
+
+    name, *sources = args.flows_query
+    base = name.split(":", 1)[0]
+    if base not in QUERIES:
+        parser.error(f"--flows-query: unknown query {base!r}; "
+                     f"choose from {sorted(QUERIES)} "
+                     f"(top takes an optional :k suffix, e.g. top:10)")
+    try:
+        print(run_query(name, *sources))
+    except (ValueError, FileNotFoundError) as exc:
+        parser.error(f"--flows-query: {exc}")
+    return 0
+
+
 def _cluster_run(args) -> int:
     """Run an N-host sharded cluster scenario and print the merge."""
     from repro.scenario import Scenario
@@ -144,6 +186,8 @@ def _cluster_run(args) -> int:
         scenario = scenario.topology(spec)
     if args.faults:
         scenario = scenario.with_faults(args.faults)
+    if args.flows:
+        scenario = scenario.with_flows(args.flow_sample)
     result = scenario.run()
     timing = result.timing
     print(f"cluster: hosts={args.cluster} users={args.users} "
@@ -172,6 +216,9 @@ def _cluster_run(args) -> int:
               f"link_pkts_max={f['link_packets_max']}")
     print(f"wall: build={timing['build_s']:.2f}s run={timing['run_s']:.2f}s "
           f"(processes={timing['processes']})")
+    if args.flows:
+        _export_flows(result.flows, args.flows,
+                      f"cluster{args.cluster}-{args.topology}-{args.mode}")
     return 0
 
 
@@ -254,6 +301,22 @@ def main(argv=None) -> int:
                         metavar="US", help="idle gap after which a flow's "
                         "next flowlet may be rehashed onto a different "
                         "equal-cost path (default: 100)")
+    parser.add_argument("--flows", metavar="OUT", default=None,
+                        help="enable sampled flow-record export and write "
+                        "the record set to OUT — a .sqlite/.db store, a "
+                        ".jsonl stream, or 'mem' (summary only).  Applies "
+                        "to --cluster runs or, alone, to the canonical "
+                        "two-host scenario")
+    parser.add_argument("--flow-sample", type=int, default=64, metavar="N",
+                        help="flow export sampling rate: 1 in N packets "
+                        "per emit site (deterministic per seed; "
+                        "default: 64)")
+    parser.add_argument("--flows-query", nargs="+", default=None,
+                        metavar=("QUERY", "STORE"),
+                        help="run a canned offline query against exported "
+                        "flow stores (.sqlite or .jsonl): 'top[:k]', "
+                        "'classes', 'links' take one store; 'diff' takes "
+                        "two")
     parser.add_argument("--faults", metavar="SPEC", default=None,
                         help="inject faults into the canonical scenario and "
                         "enable loss recovery; SPEC is ';'-separated clauses "
@@ -268,7 +331,13 @@ def main(argv=None) -> int:
         except ValueError as exc:
             parser.error(f"--faults: {exc}")
 
+    if args.flow_sample < 1:
+        parser.error(f"--flow-sample must be >= 1, got {args.flow_sample}")
+
     configure(jobs=args.jobs, cache=args.cache)
+
+    if args.flows_query:
+        return _flows_query(args, parser)
 
     if args.cluster:
         if args.shards < 1:
@@ -279,6 +348,16 @@ def main(argv=None) -> int:
                 f"each shard simulates at least one host, so at most "
                 f"{args.cluster} shards can do useful work")
         return _cluster_run(args)
+
+    if args.flows:
+        # Standalone --flows: canonical two-host scenario with export on.
+        scenario = (_canonical_scenario(args.mode, args.bg, args.faults)
+                    .with_flows(args.flow_sample))
+        result = scenario.run()
+        print(result)
+        _export_flows(result.flows, args.flows, scenario.label())
+        if not (args.figure or args.seeds or args.trace or args.metrics):
+            return 0
 
     if args.metrics_diff:
         from repro.telemetry.diff import main as diff_main
@@ -340,4 +419,14 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Query output piped into `head` and friends: the consumer
+        # closing early is normal, not a crash.  Point stdout at
+        # /dev/null so the interpreter's shutdown flush stays quiet,
+        # and exit with the conventional SIGPIPE status.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(128 + 13)

@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.bench.testbed import Testbed, build_testbed
 from repro.faults import FaultInjector, merge_recovery
+from repro.flows import FlowCollector, KernelFlowTap
 from repro.metrics.recorder import CpuUtilizationSampler, LatencyRecorder
 from repro.trace.tracer import Tracer
 
@@ -104,6 +105,16 @@ class ExperimentCell:
         packet_core = self.testbed.server.kernel.cpu(0)
         self.sampler = CpuUtilizationSampler(packet_core,
                                              lambda: self.sim.now)
+        self.flows: Optional[FlowCollector] = None
+        if config.flow_export is not None:
+            # Sampled flow export: the collector folds 1-in-N packets at
+            # the existing gated emit sites; it never schedules events
+            # or touches the RNG, so the simulation outcome (and every
+            # digest) is identical with export on or off.
+            self.flows = FlowCollector(config.flow_export, scope="server",
+                                       seed=config.seed)
+            self.testbed.server.kernel.flows = KernelFlowTap(self.flows,
+                                                             self.sim)
         telemetry = self.testbed.server.kernel.telemetry
         if telemetry is not None:
             # Metered run: export the harness's own accounting through the
@@ -135,6 +146,10 @@ class ExperimentCell:
             self.sampler.mark()
             self._marked = True
         processed += sim.run_window(horizon)
+        if self.flows is not None:
+            # Horizon-aligned expiry on the sim clock: the horizon
+            # sequence is deterministic, so record boundaries are too.
+            self.flows.expire(horizon)
         return processed
 
     def finalize(self) -> Any:
@@ -165,6 +180,11 @@ class ExperimentCell:
             softirq_fraction=self.sampler.softirq_fraction(),
             drops=dict(self.testbed.server.kernel.drops),
         )
+        if self.flows is not None:
+            from repro.flows.records import merge_flow_blocks
+            result.flows = merge_flow_blocks(
+                [self.flows.finalize()],
+                sample_rate=config.flow_export.sample_rate)
         if self.injector is not None:
             result.fault_summary = self.injector.summary()
             result.conservation = self.injector.conservation_report()

@@ -23,6 +23,7 @@ from repro.bench.cell import ExperimentCell
 from repro.bench.testbed import Testbed, build_testbed
 from repro.fabric.spec import Topology, TopologySpec
 from repro.faults import FaultInjector, FaultPlan, merge_recovery
+from repro.flows.config import FlowExportConfig
 from repro.kernel.config import KernelConfig
 from repro.kernel.costs import CostModel
 from repro.kernel.cpu import Work
@@ -118,10 +119,17 @@ class ExperimentConfig:
     #: through :func:`repro.shard.run_cluster`); its link parameters
     #: feed the cost model's wire fields when ``costs`` is unset.
     topology: Optional[TopologySpec] = None
+    #: Optional sampled flow-record export
+    #: (:class:`repro.flows.FlowExportConfig`).  ``None`` — the
+    #: canonical configuration — keeps every flow hook a single
+    #: attribute check and is omitted from the wire format, so all
+    #: pre-flow cache keys and digests stay byte-identical.
+    flow_export: Optional[FlowExportConfig] = None
 
     #: Fields the serialization layers drop when ``None`` (see
     #: :func:`repro.bench.runner._jsonable` and :meth:`to_dict`).
-    _JSON_OMIT_WHEN_NONE: ClassVar[Tuple[str, ...]] = ("faults", "topology")
+    _JSON_OMIT_WHEN_NONE: ClassVar[Tuple[str, ...]] = (
+        "faults", "topology", "flow_export")
 
     def label(self) -> str:
         busy = f"+bg{self.bg_rate_pps / 1000:.0f}k" if self.bg_rate_pps else ""
@@ -156,7 +164,8 @@ class ExperimentConfig:
                 value = str(value)
             elif isinstance(value, (CostModel, KernelConfig)):
                 value = _frozen_to_dict(value)
-            elif isinstance(value, (FaultPlan, TopologySpec)):
+            elif isinstance(value, (FaultPlan, TopologySpec,
+                                    FlowExportConfig)):
                 value = value.to_dict()
             out[f.name] = value
         return out
@@ -178,6 +187,9 @@ class ExperimentConfig:
             kwargs["faults"] = FaultPlan.from_dict(kwargs["faults"])
         if kwargs.get("topology") is not None:
             kwargs["topology"] = TopologySpec.from_dict(kwargs["topology"])
+        if kwargs.get("flow_export") is not None:
+            kwargs["flow_export"] = FlowExportConfig.from_dict(
+                kwargs["flow_export"])
         return cls(**kwargs)
 
 
@@ -235,9 +247,13 @@ class ExperimentResult:
     #: Merged loss-recovery totals (retries/timeouts/give-ups) plus the
     #: per-client stats; fault runs only.
     recovery: Optional[Dict[str, Any]] = None
+    #: Sampled flow-record export block (``schema``/``sample_rate``/
+    #: ``records``/counters); flow-export runs only — ``None`` stays
+    #: absent from the wire format like the fault fields.
+    flows: Optional[Dict[str, Any]] = None
 
     _JSON_OMIT_WHEN_NONE: ClassVar[Tuple[str, ...]] = (
-        "fault_summary", "conservation", "recovery")
+        "fault_summary", "conservation", "recovery", "flows")
 
     def __str__(self) -> str:
         latency = str(self.fg_latency) if self.fg_latency else "no samples"
@@ -304,6 +320,7 @@ class ExperimentResult:
             fault_summary=data.get("fault_summary"),
             conservation=data.get("conservation"),
             recovery=data.get("recovery"),
+            flows=data.get("flows"),
         )
 
 

@@ -233,6 +233,13 @@ class FabricNetwork:
         #: lazily (one spec-level lru_cache hit per *pair*, never per
         #: packet).
         self._routes: Dict[Tuple[int, int], Tuple[Path, ...]] = {}
+        #: Sampled flow-record tap (:class:`repro.flows.FabricFlowTap`)
+        #: or None — the ``kernel.flows`` gating discipline.  Consulted
+        #: in the path-assignment loop so records carry the actual
+        #: ECMP/flowlet link labels; the fabric is executor-owned and
+        #: walks the globally sorted union, so its samples are
+        #: shard-count independent.
+        self.flows = None
 
     # ------------------------------------------------------------------
     def _paths_for(self, src: int, dst: int) -> Tuple[Path, ...]:
@@ -272,6 +279,7 @@ class FabricNetwork:
         flow_paths = self._flow_paths
         assign = self.flowlets.assign
         header_bytes = self.header_bytes
+        flows = self.flows
         path_by_order: List[Path] = []
         wire_len_by_order: List[int] = []
         heap: List[Tuple[int, int, int, int]] = []
@@ -288,6 +296,9 @@ class FabricNetwork:
             uses[index] = uses.get(index, 0) + 1
             path_by_order.append(paths[index])
             wire_len_by_order.append(row[8] + header_bytes)
+            if flows is not None:
+                flows.on_transit(src, dst, cls_code, departure,
+                                 wire_len_by_order[-1], paths[index])
             # (time, departed, input order, hop): ties never reach past
             # the unique order, so no packet fields are ever compared.
             heap.append((departure, departure, order, 0))

@@ -1,0 +1,85 @@
+"""Sampled flow-record export — the repo's sFlow/NetFlow analogue.
+
+Aggregate metrics (the telemetry registry) answer "how much"; traces
+(the obs layer) answer "what happened in this one run" — neither can
+answer *which flows* starved, on which link, during which fault window,
+once a 16-host cluster is pushing hundreds of thousands of aggregated
+users.  This package adds the missing per-flow layer, modelled on the
+goflow → Kafka → ClickHouse pipelines real fleets run:
+
+- :class:`~repro.flows.sampler.FlowSampler` — a seeded, deterministic
+  1-in-N packet sampler.  No simulation RNG is consumed and no event is
+  scheduled, so enabling it never perturbs the schedule; the per-site
+  sampling phase is derived from the seed, so the *same* packets are
+  picked on every rerun.
+- :class:`~repro.flows.cache.FlowCache` — a bounded in-sim cache that
+  folds samples into :class:`~repro.flows.records.FlowRecord` entries
+  (packets/bytes/drops per emit site, first/last seen, priority class,
+  latency sums) with active/idle timeout expiry and LRU eviction under
+  pressure, all counted.
+- :class:`~repro.flows.collector.FlowCollector` plus thin taps
+  (:class:`~repro.flows.collector.KernelFlowTap`,
+  :class:`~repro.flows.collector.FabricFlowTap`) hung on the existing
+  gated emit sites: kernel stages and drop sites (``kernel.flows``,
+  the same ``is not None`` discipline as ``kernel.telemetry`` /
+  ``kernel.faults``), host fabric egress/ingress, and the executor's
+  :class:`~repro.fabric.network.FabricNetwork` links.
+- Pluggable sinks (:mod:`repro.flows.sink`): in-memory, JSONL, and a
+  versioned SQLite store (:mod:`repro.flows.store`).
+- An offline query layer (:mod:`repro.flows.query`): top-k flows,
+  per-class latency/drop breakdowns, per-link utilization, cross-run
+  diffs — ``python -m repro --flows-query ...``.
+
+Determinism contract: collectors are per-host-cell (cells are always
+one simulator per host) or executor-owned (the fabric), expiry runs at
+the shard-window barriers whose horizon sequence is a pure function of
+the config — so the merged record set is byte-identical at any shard
+count and for in-process vs subprocess workers.  With export disabled
+every hook is a single ``is not None`` check and all digests and cache
+keys stay byte-identical to an export-free build.
+"""
+
+from repro.flows.cache import FlowCache
+from repro.flows.collector import FabricFlowTap, FlowCollector, KernelFlowTap
+from repro.flows.config import FlowExportConfig
+from repro.flows.records import (
+    FLOW_SCHEMA_VERSION,
+    FlowRecord,
+    flow_record_digest,
+    merge_flow_blocks,
+    normalize_records,
+    record_sort_key,
+)
+from repro.flows.sampler import FlowSampler
+from repro.flows.sink import (
+    FlowSink,
+    JsonlSink,
+    MemorySink,
+    SqliteSink,
+    export_flows,
+    open_sink,
+)
+from repro.flows.store import FLOW_DB_SCHEMA, FlowStore
+
+__all__ = [
+    "FLOW_DB_SCHEMA",
+    "FLOW_SCHEMA_VERSION",
+    "FabricFlowTap",
+    "FlowCache",
+    "FlowCollector",
+    "FlowExportConfig",
+    "FlowRecord",
+    "FlowSampler",
+    "FlowSink",
+    "FlowStore",
+    "JsonlSink",
+    "KernelFlowTap",
+    "MemorySink",
+    "SqliteSink",
+    "export_flows",
+    "flow_record_digest",
+    "merge_flow_blocks",
+    "normalize_records",
+    "open_sink",
+    "record_sort_key",
+]

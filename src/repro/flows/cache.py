@@ -1,0 +1,103 @@
+"""Bounded in-sim flow cache: fold samples, expire, evict — counted.
+
+The cache is a NetFlow-style active-flow table.  Folding touches move
+a record to the back of an insertion-ordered dict (pop + reinsert), so
+the front is always the least-recently-touched flow; when the table is
+full the front record is force-exported (reason ``evict``).  Expiry
+(idle/active timeouts) runs only from :meth:`expire`, which callers
+invoke at deterministic points — shard-window barriers and finalize —
+never from a timer, so the cache adds nothing to the event schedule.
+A full scan per barrier would be O(flows) every window; ``expire``
+self-throttles to at most one scan per half-minimum-timeout of
+simulated time, which keeps barrier cost O(1) amortized while
+guaranteeing no record overshoots its timeout by more than the scan
+interval.  The throttle is simulated-time based, so it is identical at
+any shard count.
+"""
+
+from repro.flows.records import FlowRecord
+
+
+class FlowCache:
+    """Bounded LRU flow table with timeout expiry.
+
+    Exported records accumulate in :attr:`exported` (list of
+    :class:`FlowRecord`) in export order; the collector drains them
+    into sinks.  All transitions are counted in :attr:`counters`.
+    """
+
+    __slots__ = ("max_flows", "active_timeout_ns", "idle_timeout_ns",
+                 "exported", "counters", "_records", "_scan_every_ns",
+                 "_next_scan_ns")
+
+    def __init__(self, *, max_flows, active_timeout_ns, idle_timeout_ns):
+        self.max_flows = max_flows
+        self.active_timeout_ns = active_timeout_ns
+        self.idle_timeout_ns = idle_timeout_ns
+        self._records = {}
+        self.exported = []
+        self.counters = {"folded": 0, "flows_created": 0,
+                         "expired_idle": 0, "expired_active": 0,
+                         "evicted": 0, "flushed_final": 0}
+        self._scan_every_ns = max(
+            1, min(active_timeout_ns, idle_timeout_ns) // 2)
+        self._next_scan_ns = 0
+
+    def __len__(self):
+        return len(self._records)
+
+    def fold(self, key, now, nbytes, site, *, drops=0, latency_ns=None,
+             extra_sites=()):
+        """Fold one sampled packet into the record for *key*.
+
+        *key* is the full identity tuple
+        ``(scope, src, dst, src_port, dst_port, proto, cls)``.
+        ``extra_sites`` credits further emit sites (fabric hops past the
+        first) with the bytes without re-counting the packet.
+        """
+        records = self._records
+        record = records.pop(key, None)
+        if record is None:
+            if len(records) >= self.max_flows:
+                self._export(next(iter(records)), "evict")
+                self.counters["evicted"] += 1
+            record = FlowRecord(*key, first_ns=now)
+            self.counters["flows_created"] += 1
+        records[key] = record
+        record.fold(now, nbytes, site, drops=drops, latency_ns=latency_ns)
+        for extra in extra_sites:
+            record.fold_site(extra, nbytes)
+        self.counters["folded"] += 1
+
+    def _export(self, key, reason):
+        record = self._records.pop(key)
+        record.reason = reason
+        self.exported.append(record)
+
+    def expire(self, now):
+        """Export timed-out records; throttled to ~2 scans per timeout."""
+        if now < self._next_scan_ns:
+            return
+        self._next_scan_ns = now + self._scan_every_ns
+        idle_cut = now - self.idle_timeout_ns
+        active_cut = now - self.active_timeout_ns
+        stale = []
+        for key, record in self._records.items():
+            if record.last_ns <= idle_cut:
+                stale.append((key, "idle"))
+            elif record.first_ns <= active_cut:
+                stale.append((key, "active"))
+        for key, reason in stale:
+            self._export(key, reason)
+            self.counters["expired_" + reason] += 1
+
+    def flush_all(self, reason="final"):
+        """Export every resident record (end of run)."""
+        for key in list(self._records):
+            self._export(key, reason)
+            self.counters["flushed_final"] += 1
+
+    def drain(self):
+        """Take and clear the exported-record list."""
+        exported, self.exported = self.exported, []
+        return exported

@@ -1,0 +1,79 @@
+"""Flow-export configuration.
+
+:class:`FlowExportConfig` is the single spec object threaded through
+``ExperimentConfig.flow_export`` / ``ClusterConfig.flow_export``.  Like
+``FaultPlan`` and ``TopologySpec`` it is frozen and hashable (it rides
+inside frozen configs and cache keys) and serializes via versioned
+``to_dict``/``from_dict``.  Both host configs treat the field as
+omit-when-``None``: a disabled run's wire format — and therefore every
+golden digest and disk-cache key — is byte-identical to a build that
+predates flow export.
+"""
+
+import dataclasses
+from typing import Optional
+
+from repro.sim.units import MS
+
+#: Bump when the serialized config shape changes incompatibly.
+FLOW_CONFIG_SCHEMA = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowExportConfig:
+    """Sampling and cache policy for the flow-record pipeline.
+
+    sample_rate
+        1-in-N packet sampling at every enabled emit site.  ``1``
+        samples every packet (tests); the canonical overhead budget is
+        measured at ``64``.
+    max_flows
+        Bound on concurrently tracked flows per collector.  Folding
+        into a full cache force-exports the least-recently-touched
+        record first (reason ``evict``) — the NetFlow emergency-expiry
+        analogue — and counts it.
+    active_timeout_ns / idle_timeout_ns
+        NetFlow-style expiry, evaluated at deterministic points
+        (shard-window barriers and finalize): a record older than the
+        active timeout is exported even while traffic continues (long
+        flows become several records); one untouched for the idle
+        timeout is exported as finished.
+    """
+
+    sample_rate: int = 64
+    max_flows: int = 4096
+    active_timeout_ns: int = 60 * MS
+    idle_timeout_ns: int = 15 * MS
+
+    def __post_init__(self):
+        if self.sample_rate < 1:
+            raise ValueError(f"sample_rate must be >= 1: {self.sample_rate}")
+        if self.max_flows < 1:
+            raise ValueError(f"max_flows must be >= 1: {self.max_flows}")
+        if self.active_timeout_ns <= 0 or self.idle_timeout_ns <= 0:
+            raise ValueError("flow timeouts must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": FLOW_CONFIG_SCHEMA,
+            "sample_rate": self.sample_rate,
+            "max_flows": self.max_flows,
+            "active_timeout_ns": self.active_timeout_ns,
+            "idle_timeout_ns": self.idle_timeout_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> Optional["FlowExportConfig"]:
+        if data is None:
+            return None
+        schema = data.get("schema", FLOW_CONFIG_SCHEMA)
+        if schema != FLOW_CONFIG_SCHEMA:
+            raise ValueError(
+                f"unsupported flow-export config schema {schema} "
+                f"(supported: {FLOW_CONFIG_SCHEMA})")
+        return cls(
+            sample_rate=data["sample_rate"],
+            max_flows=data["max_flows"],
+            active_timeout_ns=data["active_timeout_ns"],
+            idle_timeout_ns=data["idle_timeout_ns"],
+        )

@@ -1,0 +1,288 @@
+"""Offline queries over exported flow records.
+
+Four canned questions, each answerable from any backend — a live
+``result.flows`` dict, a ``.jsonl`` export, or a SQLite store — via
+:func:`load_records`:
+
+- :func:`top_flows` — top-k flows by bytes/packets/drops ("which flows
+  dominated the run").
+- :func:`class_breakdown` — per-priority-class packets/bytes/drops and
+  mean sampled latency ("did low-priority starve, and by how much").
+- :func:`link_utilization` — per-site byte/packet totals filtered to
+  fabric ``link:`` labels by default ("which links carried/dropped the
+  traffic"); any site prefix works, so kernel queue and ``fault:``
+  sites are queryable the same way.
+- :func:`diff_runs` — flow-keyed cross-run comparison ("what changed
+  between these two runs"), the PASTRAMI-style trajectory primitive.
+
+Each query has a ``render_*`` twin producing the aligned-text tables
+``python -m repro --flows-query ...`` prints.
+"""
+
+import json
+
+from repro.flows.records import record_sort_key
+from repro.flows.store import FlowStore
+
+__all__ = ["load_records", "top_flows", "class_breakdown",
+           "link_utilization", "diff_runs", "render_top",
+           "render_classes", "render_links", "render_diff", "run_query",
+           "QUERIES"]
+
+
+def load_records(source):
+    """Record dicts from a flows dict, a JSONL export, or a SQLite store."""
+    if isinstance(source, dict):
+        return list(source.get("records", []))
+    path = str(source)
+    lowered = path.lower()
+    if lowered.endswith(".jsonl"):
+        records = []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                if obj.get("kind") == "meta":
+                    continue
+                records.append(obj)
+        return records
+    if lowered.endswith((".sqlite", ".sqlite3", ".db")):
+        with FlowStore(path) as store:
+            return store.records()
+    raise ValueError(f"cannot load flow records from {path!r} "
+                     "(use *.jsonl, *.sqlite, *.sqlite3, or *.db)")
+
+
+def _flow_name(record):
+    return (f"{record['scope']} {record['src']}:{record['src_port']}"
+            f"->{record['dst']}:{record['dst_port']}/{record['cls']}")
+
+
+# ----------------------------------------------------------------------
+# Canned query 1: top-k flows
+# ----------------------------------------------------------------------
+def top_flows(records, k=10, by="bytes"):
+    """The *k* heaviest flow records by ``bytes``/``packets``/``drops``.
+
+    Records of the same flow split by active-timeout expiry are merged
+    first, so "top flows" means flows, not cache windows.
+    """
+    if by not in ("bytes", "packets", "drops"):
+        raise ValueError(f"unsupported top-flows metric {by!r}")
+    merged = {}
+    for record in records:
+        key = (record["scope"], record["src"], record["dst"],
+               record["src_port"], record["dst_port"], record["proto"],
+               record["cls"])
+        entry = merged.get(key)
+        if entry is None:
+            merged[key] = entry = {
+                "scope": record["scope"], "src": record["src"],
+                "dst": record["dst"], "src_port": record["src_port"],
+                "dst_port": record["dst_port"], "proto": record["proto"],
+                "cls": record["cls"], "packets": 0, "bytes": 0,
+                "drops": 0, "records": 0,
+                "first_ns": record["first_ns"],
+                "last_ns": record["last_ns"]}
+        entry["packets"] += record["packets"]
+        entry["bytes"] += record["bytes"]
+        entry["drops"] += record["drops"]
+        entry["records"] += 1
+        entry["first_ns"] = min(entry["first_ns"], record["first_ns"])
+        entry["last_ns"] = max(entry["last_ns"], record["last_ns"])
+    flows = sorted(merged.values(),
+                   key=lambda e: (-e[by], e["scope"], e["src"], e["dst"],
+                                  e["src_port"], e["dst_port"], e["cls"]))
+    return flows[:k]
+
+
+# ----------------------------------------------------------------------
+# Canned query 2: per-class latency/drop breakdown
+# ----------------------------------------------------------------------
+def class_breakdown(records):
+    """Per-priority-class totals + mean sampled latency, sorted by class."""
+    classes = {}
+    for record in records:
+        cls = record["cls"]
+        entry = classes.get(cls)
+        if entry is None:
+            classes[cls] = entry = {
+                "cls": cls, "flows": 0, "packets": 0, "bytes": 0,
+                "drops": 0, "latency_sum_ns": 0, "latency_samples": 0}
+        entry["flows"] += 1
+        entry["packets"] += record["packets"]
+        entry["bytes"] += record["bytes"]
+        entry["drops"] += record["drops"]
+        entry["latency_sum_ns"] += record["latency_sum_ns"]
+        entry["latency_samples"] += record["latency_samples"]
+    out = []
+    for cls in sorted(classes):
+        entry = classes[cls]
+        samples = entry.pop("latency_samples")
+        total = entry.pop("latency_sum_ns")
+        entry["latency_samples"] = samples
+        entry["latency_mean_ns"] = total // samples if samples else None
+        out.append(entry)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Canned query 3: per-link (per-site) utilization
+# ----------------------------------------------------------------------
+def link_utilization(records, prefix="link:"):
+    """Per-site totals over the ``sites`` breakdowns, heaviest first.
+
+    Default prefix selects the fabric links; pass ``""`` for every
+    site, or e.g. ``"fault:"`` for the injector's drop sites.
+    """
+    sites = {}
+    for record in records:
+        for site, (packets, nbytes, drops) in record["sites"].items():
+            if not site.startswith(prefix):
+                continue
+            entry = sites.get(site)
+            if entry is None:
+                sites[site] = entry = {"site": site, "packets": 0,
+                                       "bytes": 0, "drops": 0, "flows": 0}
+            entry["packets"] += packets
+            entry["bytes"] += nbytes
+            entry["drops"] += drops
+            entry["flows"] += 1
+    return sorted(sites.values(),
+                  key=lambda e: (-e["bytes"], -e["packets"], e["site"]))
+
+
+# ----------------------------------------------------------------------
+# Canned query 4: cross-run diff
+# ----------------------------------------------------------------------
+def diff_runs(records_a, records_b):
+    """Flow-keyed comparison of two record sets.
+
+    Returns totals for both sides plus per-flow deltas: flows only in
+    one run and flows whose packets/bytes/drops changed.
+    """
+    def index(records):
+        merged = {}
+        for flow in top_flows(records, k=len(records) or 1):
+            key = (flow["scope"], flow["src"], flow["dst"],
+                   flow["src_port"], flow["dst_port"], flow["cls"])
+            merged[key] = flow
+        return merged
+
+    a, b = index(records_a), index(records_b)
+
+    def totals(flows):
+        return {"flows": len(flows),
+                "packets": sum(f["packets"] for f in flows.values()),
+                "bytes": sum(f["bytes"] for f in flows.values()),
+                "drops": sum(f["drops"] for f in flows.values())}
+
+    changed = []
+    for key in sorted(set(a) & set(b)):
+        fa, fb = a[key], b[key]
+        delta = {metric: fb[metric] - fa[metric]
+                 for metric in ("packets", "bytes", "drops")}
+        if any(delta.values()):
+            changed.append({"flow": _flow_name(fa), **delta})
+    return {
+        "a": totals(a),
+        "b": totals(b),
+        "only_a": [_flow_name(a[key]) for key in sorted(set(a) - set(b))],
+        "only_b": [_flow_name(b[key]) for key in sorted(set(b) - set(a))],
+        "changed": changed,
+    }
+
+
+# ----------------------------------------------------------------------
+# Text rendering + CLI dispatch
+# ----------------------------------------------------------------------
+def render_top(records, k=10, by="bytes"):
+    lines = [f"top {k} flows by {by}",
+             f"{'flow':52s} {'pkts':>8s} {'bytes':>12s} {'drops':>6s}"]
+    for flow in top_flows(records, k=k, by=by):
+        lines.append(f"{_flow_name(flow):52s} {flow['packets']:>8d} "
+                     f"{flow['bytes']:>12d} {flow['drops']:>6d}")
+    return "\n".join(lines)
+
+
+def render_classes(records):
+    lines = ["per-class breakdown",
+             f"{'cls':5s} {'flows':>6s} {'pkts':>8s} {'bytes':>12s} "
+             f"{'drops':>6s} {'mean latency':>14s}"]
+    for entry in class_breakdown(records):
+        mean = entry["latency_mean_ns"]
+        mean_s = f"{mean / 1e3:,.1f} us" if mean is not None else "—"
+        lines.append(f"{entry['cls']:5s} {entry['flows']:>6d} "
+                     f"{entry['packets']:>8d} {entry['bytes']:>12d} "
+                     f"{entry['drops']:>6d} {mean_s:>14s}")
+    return "\n".join(lines)
+
+
+def render_links(records, prefix="link:", limit=20):
+    shown = link_utilization(records, prefix=prefix)[:limit]
+    label = prefix or "site"
+    lines = [f"utilization by {label!r} site (top {limit})",
+             f"{'site':40s} {'pkts':>8s} {'bytes':>12s} {'drops':>6s} "
+             f"{'flows':>6s}"]
+    for entry in shown:
+        lines.append(f"{entry['site']:40s} {entry['packets']:>8d} "
+                     f"{entry['bytes']:>12d} {entry['drops']:>6d} "
+                     f"{entry['flows']:>6d}")
+    return "\n".join(lines)
+
+
+def render_diff(records_a, records_b):
+    diff = diff_runs(records_a, records_b)
+    lines = ["cross-run diff (b - a)"]
+    for side in ("a", "b"):
+        t = diff[side]
+        lines.append(f"  {side}: {t['flows']} flows, {t['packets']} pkts, "
+                     f"{t['bytes']} bytes, {t['drops']} drops")
+    for label in ("only_a", "only_b"):
+        flows = diff[label]
+        if flows:
+            lines.append(f"  {label} ({len(flows)}):")
+            lines.extend(f"    {name}" for name in flows[:10])
+            if len(flows) > 10:
+                lines.append(f"    … {len(flows) - 10} more")
+    if diff["changed"]:
+        lines.append(f"  changed ({len(diff['changed'])}):")
+        for entry in diff["changed"][:10]:
+            lines.append(f"    {entry['flow']}: "
+                         f"pkts{entry['packets']:+d} "
+                         f"bytes{entry['bytes']:+d} "
+                         f"drops{entry['drops']:+d}")
+        if len(diff["changed"]) > 10:
+            lines.append(f"    … {len(diff['changed']) - 10} more")
+    if not (diff["only_a"] or diff["only_b"] or diff["changed"]):
+        lines.append("  identical flow sets")
+    return "\n".join(lines)
+
+
+#: query name -> (paths required, callable(records...) -> str)
+QUERIES = {
+    "top": (1, render_top),
+    "classes": (1, render_classes),
+    "links": (1, render_links),
+    "diff": (2, render_diff),
+}
+
+
+def run_query(name, *sources, **kwargs):
+    """Dispatch a canned query by name over record sources (paths or
+    flows dicts); returns the rendered text."""
+    base = name.split(":", 1)[0]
+    if base not in QUERIES:
+        raise ValueError(f"unknown flow query {name!r} "
+                         f"(choose from {', '.join(sorted(QUERIES))})")
+    arity, renderer = QUERIES[base]
+    if len(sources) != arity:
+        raise ValueError(f"query {base!r} needs {arity} store path(s), "
+                         f"got {len(sources)}")
+    if base == "top" and ":" in name:
+        kwargs.setdefault("k", int(name.split(":", 1)[1]))
+    loaded = [sorted(load_records(source), key=record_sort_key)
+              for source in sources]
+    return renderer(*loaded, **kwargs)

@@ -1,0 +1,75 @@
+"""Seeded, deterministic 1-in-N packet sampler.
+
+Design constraints, in order:
+
+1. **Digest neutrality.**  The sampler must never consume simulation
+   RNG state or schedule events — enabling flow export cannot perturb
+   the event order, so a run with export on produces the same digest
+   as one with export off.
+2. **Determinism per seed.**  The same (seed, site) must pick the same
+   packets on every rerun, in-process or subprocess, at any shard
+   count.  Anything keyed on wall clock, ``id()``, or hash
+   randomization is out.
+3. **Hot-path cost.**  Sample sites sit on the packet path; the
+   per-packet cost budget for 1-in-64 sampling on the canonical
+   Fig. 11 cell is <10%.  Per-packet hashing (the classic sFlow
+   skb-hash test) costs ~3% alone in this interpreter-bound simulator,
+   so it is rejected in favour of **stride sampling with a seeded
+   per-site phase**: site ``s`` keeps a packet counter and samples
+   exactly when ``(count + phase(seed, s)) % rate == 0``.  One dict
+   store, one increment, one modulo per packet.
+
+Stride sampling is biased for periodic traffic aligned with the rate;
+for this simulator's workloads (deterministic closed loops) that bias
+is *the point* — it makes the picked packets a pure function of the
+seed, which is what the determinism tests pin.  The seeded phase
+de-correlates sites from each other and gives distinct seeds distinct
+samples, mirroring how hardware sFlow agents skew per-port counters.
+"""
+
+import zlib
+
+
+class FlowSampler:
+    """Per-site stride sampler: 1-in-``rate`` with a seeded phase.
+
+    ``scope`` (host/cell name) joins the phase derivation so that the
+    same site string on different hosts samples different positions.
+    """
+
+    __slots__ = ("rate", "seed", "scope", "sampled", "seen", "_counts")
+
+    def __init__(self, rate: int, *, seed: int = 0, scope: str = ""):
+        if rate < 1:
+            raise ValueError(f"sample rate must be >= 1: {rate}")
+        self.rate = rate
+        self.seed = seed
+        self.scope = scope
+        self.seen = 0
+        self.sampled = 0
+        # site -> running (count + phase); seeded at first sight so a
+        # site's stream is independent of which other sites exist.
+        self._counts = {}
+
+    def phase(self, site: str) -> int:
+        """Deterministic starting offset for *site* in [0, rate)."""
+        token = f"{self.seed}:{self.scope}:{site}".encode()
+        return zlib.crc32(token) % self.rate
+
+    def take(self, site: str) -> bool:
+        """Count one packet at *site*; True iff it is the 1-in-N pick."""
+        counts = self._counts
+        shifted = counts.get(site)
+        if shifted is None:
+            shifted = self.phase(site)
+        shifted += 1
+        counts[site] = shifted
+        self.seen += 1
+        if shifted % self.rate:
+            return False
+        self.sampled += 1
+        return True
+
+    def counters(self) -> dict:
+        return {"seen": self.seen, "sampled": self.sampled,
+                "rate": self.rate, "sites": len(self._counts)}

@@ -1,0 +1,142 @@
+"""Pluggable flow-record sinks: memory, JSONL, SQLite.
+
+A sink consumes batches of record dicts plus one run-level meta block.
+:func:`open_sink` picks the backend from the path — ``.jsonl`` streams
+one JSON object per line (first line is the meta header), ``.sqlite`` /
+``.db`` / ``.sqlite3`` lands in a :class:`~repro.flows.store.FlowStore`
+— and :func:`export_flows` is the one-call path the CLI uses to write a
+finished run's merged flow block.
+
+All sinks receive records already order-normalized (the merge sorts by
+:func:`~repro.flows.records.record_sort_key`), so two runs that
+produced the same record set write byte-identical JSONL files and
+row-identical stores regardless of shard count or worker backend.
+"""
+
+import json
+
+from repro.flows.records import normalize_records
+from repro.flows.store import FlowStore
+
+__all__ = ["FlowSink", "MemorySink", "JsonlSink", "SqliteSink",
+           "open_sink", "export_flows"]
+
+#: Flush granularity for export_flows (bounded memory, not a contract).
+EXPORT_BATCH = 512
+
+
+class FlowSink:
+    """Sink interface: ``begin(meta)``, ``write(records)``, ``close()``."""
+
+    def begin(self, meta: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def write(self, records) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class MemorySink(FlowSink):
+    """Collects records in a list (tests, in-process queries)."""
+
+    def __init__(self):
+        self.meta = None
+        self.records = []
+        self.closed = False
+
+    def begin(self, meta):
+        self.meta = dict(meta)
+
+    def write(self, records):
+        records = list(records)
+        self.records.extend(records)
+        return len(records)
+
+    def close(self):
+        self.closed = True
+
+
+class JsonlSink(FlowSink):
+    """One JSON object per line; line 1 is the run meta header."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.written = 0
+
+    def begin(self, meta):
+        header = {"kind": "meta", **meta}
+        self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+
+    def write(self, records):
+        n = 0
+        for record in records:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            n += 1
+        self.written += n
+        return n
+
+    def close(self):
+        self._fh.close()
+
+
+class SqliteSink(FlowSink):
+    """Lands records in a :class:`FlowStore` under one new run row."""
+
+    def __init__(self, path):
+        self.store = FlowStore(path)
+        self.run_id = None
+        self.written = 0
+
+    def begin(self, meta):
+        meta = dict(meta)
+        self.run_id = self.store.begin_run(
+            label=meta.pop("label", ""),
+            sample_rate=meta.pop("sample_rate", 0),
+            meta=meta)
+
+    def write(self, records):
+        if self.run_id is None:
+            self.begin({})
+        n = self.store.add_records(self.run_id, records)
+        self.written += n
+        return n
+
+    def close(self):
+        self.store.close()
+
+
+def open_sink(spec) -> FlowSink:
+    """Sink for *spec*: ``mem``/``:memory:`` or a path by extension."""
+    spec = str(spec)
+    if spec in ("mem", ":memory:"):
+        return MemorySink()
+    lowered = spec.lower()
+    if lowered.endswith(".jsonl"):
+        return JsonlSink(spec)
+    if lowered.endswith((".sqlite", ".sqlite3", ".db")):
+        return SqliteSink(spec)
+    raise ValueError(
+        f"cannot infer flow sink from {spec!r} "
+        "(use mem, *.jsonl, *.sqlite, *.sqlite3, or *.db)")
+
+
+def export_flows(flows: dict, spec, *, label="") -> FlowSink:
+    """Write a run's merged flow block to *spec*; returns the sink.
+
+    *flows* is the dict hung on ``ClusterResult.flows`` /
+    ``ExperimentResult.flows``: ``schema``, ``sample_rate``,
+    ``records``, and counter blocks — everything but ``records``
+    becomes sink meta.
+    """
+    sink = open_sink(spec)
+    meta = {key: value for key, value in flows.items() if key != "records"}
+    meta["label"] = label
+    sink.begin(meta)
+    records = normalize_records(flows.get("records", []))
+    for start in range(0, len(records), EXPORT_BATCH):
+        sink.write(records[start:start + EXPORT_BATCH])
+    sink.close()
+    return sink

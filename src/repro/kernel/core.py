@@ -84,6 +84,11 @@ class Kernel:
         #: or None; set together with ``faults`` when a FaultPlan is
         #: installed.
         self.ledger = None
+        #: Sampled flow-record tap (:class:`repro.flows.KernelFlowTap`)
+        #: or None.  Consulted at socket delivery, NIC ingress, and in
+        #: :meth:`count_drop` — same ``is not None`` gating discipline
+        #: as ``telemetry``; disabled runs stay digest-identical.
+        self.flows = None
 
     def enable_rps(self, cpu_ids) -> None:
         """Spread incoming flows over *cpu_ids* by flow hash."""
@@ -127,8 +132,16 @@ class Kernel:
     def cpu(self, cpu_id: int) -> CpuCore:
         return self.cpus[cpu_id]
 
-    def count_drop(self, queue_name: str) -> None:
+    def count_drop(self, queue_name: str, skb=None) -> None:
+        """Count a drop at *queue_name*; *skb* (an skb, a raw
+        :class:`~repro.packet.packet.Packet`, or None) lets the flow
+        tap attribute the loss to a flow — every existing drop site,
+        including the fault injector's ``fault:`` sites, feeds the
+        sampled flow records through this one funnel."""
         self.drops[queue_name] = self.drops.get(queue_name, 0) + 1
+        flows = self.flows
+        if flows is not None:
+            flows.on_drop(queue_name, skb)
 
     @property
     def total_drops(self) -> int:

@@ -84,7 +84,7 @@ class NapiStruct:
             # Forced fault drop at admission; the caller recycles the skb
             # exactly as it would for an organic overflow.
             site = f"fault:{queue.name}"
-            kernel.count_drop(site)
+            kernel.count_drop(site, skb)
             if ledger is not None:
                 w = skb.gro_segments
                 ledger.drop(site, w)
@@ -100,7 +100,7 @@ class NapiStruct:
                 ledger.drop(queue.name, w)
         if not ok:
             kernel.tracer.emit(TracePoint.DROP, queue=queue.name, skb=skb)
-            kernel.count_drop(queue.name)
+            kernel.count_drop(queue.name, skb)
         elif kernel.tracer.active and \
                 kernel.tracer.has_subscribers(TracePoint.QUEUE_WAIT):
             # Stamp the enqueue time so the dequeue side can emit the

@@ -172,7 +172,7 @@ class NicNapi(NapiStruct):
                 if faults is not None and faults.skb_alloc_fails():
                     # alloc_skb returned NULL: the descriptor is consumed
                     # and the packet is gone.
-                    kernel.count_drop("fault:skb-alloc")
+                    kernel.count_drop("fault:skb-alloc", packet)
                     if ledger is not None:
                         ledger.drop("fault:skb-alloc")
                     processed += 1
@@ -206,7 +206,7 @@ class NicNapi(NapiStruct):
         while processed < batch_size and ring:
             arrival, packet = ring.dequeue()
             if faults is not None and faults.skb_alloc_fails():
-                kernel.count_drop("fault:skb-alloc")
+                kernel.count_drop("fault:skb-alloc", packet)
                 tracer.emit(TracePoint.DROP, queue="fault:skb-alloc", skb=None)
                 if ledger is not None:
                     ledger.drop("fault:skb-alloc")
@@ -284,16 +284,21 @@ class PhysicalNic(NetDevice):
         faults = kernel.faults
         if faults is not None and faults.drop_at_queue(ring.name):
             site = f"fault:{ring.name}"
-            kernel.count_drop(site)
+            kernel.count_drop(site, packet)
             if ledger is not None:
                 ledger.drop(site)
             return
         if not ring.enqueue((kernel.sim.now, packet)):
-            kernel.count_drop(ring.name)
+            kernel.count_drop(ring.name, packet)
             if ledger is not None:
                 ledger.drop(ring.name)
             kernel.tracer.emit(TracePoint.DROP, queue=ring.name, skb=None)
             return
+        flows = kernel.flows
+        if flows is not None:
+            # Host ingress sample site: the raw wire packet, before
+            # classification (class label is "-" here by design).
+            flows.on_nic_rx(ring.name, packet)
         self._maybe_interrupt()
 
     def _hardware_steer(self, packet: Packet) -> PacketQueue:

@@ -61,7 +61,7 @@ class BridgeStage(PacketStage):
 
     def _drop(self, skb: SKBuff, site: str) -> None:
         kernel = self.kernel
-        kernel.count_drop(site)
+        kernel.count_drop(site, skb)
         ledger = kernel.ledger
         if ledger is not None:
             w = skb.gro_segments

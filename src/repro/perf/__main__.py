@@ -40,6 +40,7 @@ from repro.perf.experiment_bench import run_experiment_suite
 from repro.perf.fabric_bench import CANONICAL_FABRIC, run_fabric_suite
 from repro.perf.packet_bench import (
     CANONICAL_PACKET,
+    FLOW_SAMPLE_RATE,
     packet_config,
     run_packet_suite,
 )
@@ -270,6 +271,9 @@ def main(argv=None) -> int:
         for name, stats in suite["workloads"].items():
             print(f"  {name:28s} {stats['packets_per_sec']:>12,.0f} pkt/s "
                   f"({stats['seconds'] * 1e3:.0f} ms)")
+        print(f"  flow-export overhead (1 in {FLOW_SAMPLE_RATE}): "
+              f"{suite['flow_export_overhead_pct']:+.1f}% "
+              f"(budget 10%)")
 
     if run_shards:
         suite = run_shard_suite(quick=args.quick)

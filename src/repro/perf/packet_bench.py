@@ -19,6 +19,7 @@ run that got faster by *changing the answer* is immediately visible.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Dict, Tuple
 
@@ -30,8 +31,10 @@ from repro.sim.units import MS
 __all__ = [
     "PACKET_WORKLOADS",
     "CANONICAL_PACKET",
+    "FLOW_SAMPLE_RATE",
     "packet_config",
     "run_packet_workload",
+    "run_flow_export_workload",
     "run_packet_suite",
 ]
 
@@ -51,6 +54,11 @@ PACKET_WORKLOADS: Dict[str, Tuple[StackMode, str, float]] = {
 #: The workload whose packets/sec is the headline (acceptance) number:
 #: the busy-overlay vanilla cell every figure sweep runs most often.
 CANONICAL_PACKET = "overlay_vanilla_bg300k"
+
+#: Sampling rate of the flow-export overhead cell (1 in N packets) —
+#: the production-default rate whose measured cost the acceptance
+#: criterion caps at 10% of canonical packet-path throughput.
+FLOW_SAMPLE_RATE = 64
 
 
 def packet_config(name: str, *, quick: bool = False) -> ExperimentConfig:
@@ -117,18 +125,72 @@ def run_packet_workload(name: str, *, quick: bool = False,
     }
 
 
+def run_flow_export_workload(*, quick: bool = False, repeats: int = 3,
+                             sample_rate: int = FLOW_SAMPLE_RATE
+                             ) -> Dict[str, object]:
+    """The canonical cell with sampled flow export enabled (1 in N).
+
+    Same repeat/best-run protocol as :func:`run_packet_workload`; the
+    extra fields record what the export actually produced, so a "fast
+    because it sampled nothing" run is visible in the BENCH file.
+    """
+    from repro.flows.config import FlowExportConfig
+
+    config = dataclasses.replace(
+        packet_config(CANONICAL_PACKET, quick=quick),
+        flow_export=FlowExportConfig(sample_rate=sample_rate))
+    warm = dataclasses.replace(
+        packet_config(CANONICAL_PACKET, quick=True),
+        flow_export=FlowExportConfig(sample_rate=sample_rate))
+    warm_result = run_experiment(warm)
+    del warm_result
+    best_seconds = float("inf")
+    packets = 0
+    samples = []
+    flows = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = run_experiment(config)
+        seconds = time.perf_counter() - started
+        best_seconds = min(best_seconds, seconds)
+        packets = _count_packets(result)
+        flows = result.flows
+        samples.append(packets / seconds)
+    return {
+        "packets": float(packets),
+        "seconds": best_seconds,
+        "packets_per_sec": packets / best_seconds,
+        "packets_per_sec_samples": samples,
+        "sample_rate": sample_rate,
+        "flow_records": flows["record_count"],
+        "flow_sampled": flows["sampler"]["sampled"],
+        "record_digest": flows["record_digest"],
+    }
+
+
 def run_packet_suite(*, quick: bool = False,
                      repeats: int = 3) -> Dict[str, object]:
-    """Run every packet-path workload; the canonical one is the headline."""
+    """Run every packet-path workload; the canonical one is the headline.
+
+    Also measures the flow-export overhead cell: the canonical workload
+    with 1-in-``FLOW_SAMPLE_RATE`` sampling on, reported as
+    ``flow_export_overhead_pct`` against the canonical best run (the
+    acceptance budget is 10%).
+    """
     workloads: Dict[str, Dict[str, object]] = {}
     for name in PACKET_WORKLOADS:
         workloads[name] = run_packet_workload(name, quick=quick,
                                               repeats=repeats)
+    flow = run_flow_export_workload(quick=quick, repeats=repeats)
+    workloads[f"{CANONICAL_PACKET}_flows{FLOW_SAMPLE_RATE}"] = flow
+    base_pps = workloads[CANONICAL_PACKET]["packets_per_sec"]
+    overhead_pct = (1.0 - flow["packets_per_sec"] / base_pps) * 100.0
     return {
         "canonical": CANONICAL_PACKET,
         "canonical_packets_per_sec":
             workloads[CANONICAL_PACKET]["packets_per_sec"],
         "canonical_packets_per_sec_samples":
             workloads[CANONICAL_PACKET]["packets_per_sec_samples"],
+        "flow_export_overhead_pct": overhead_pct,
         "workloads": workloads,
     }

@@ -44,9 +44,20 @@ def shard_config(*, quick: bool = False) -> ClusterConfig:
         duration_ns=int(40 * MS), warmup_ns=int(10 * MS))
 
 
-def run_shard_suite(*, quick: bool = False,
-                    shard_counts=SHARD_COUNTS) -> Dict[str, object]:
-    """Run the canonical scenario at every shard count; one suite dict."""
+def _replies(result) -> int:
+    """Total replies across both classes — the cluster's unit of work."""
+    return (result.totals["hi"]["replies"] + result.totals["lo"]["replies"])
+
+
+def run_shard_suite(*, quick: bool = False, shard_counts=SHARD_COUNTS,
+                    repeats: int = 3) -> Dict[str, object]:
+    """Run the canonical scenario at every shard count; one suite dict.
+
+    The headline throughput is ``canonical_replies_per_sec`` — replies
+    delivered per wall-clock second by the 1-shard run — with per-repeat
+    samples so ``bench_delta.py`` can gate on median + IQR overlap
+    instead of a single noisy number, exactly like the fabric suite.
+    """
     config = shard_config(quick=quick)
     cores = os.cpu_count() or 1
     workloads: Dict[str, Dict[str, object]] = {}
@@ -54,15 +65,26 @@ def run_shard_suite(*, quick: bool = False,
     base_run_s: Optional[float] = None
     digests_identical = True
     conservation_exact = True
+    canonical_samples = []
     for shards in shard_counts:
         start = time.perf_counter()
         result = run_cluster(config, shards=shards)
         total_s = time.perf_counter() - start
         digest = cluster_digest(result)
         cons = result.conservation
+        replies = _replies(result)
         if base_digest is None:
             base_digest = digest
             base_run_s = result.timing["run_s"]
+            canonical_samples.append(replies / result.timing["run_s"])
+            # Extra 1-shard repeats: the statistical gate needs >= 3
+            # samples per side (determinism makes the replies count a
+            # constant — only the wall clock varies).
+            for _ in range(max(0, repeats - 1)):
+                extra = run_cluster(config, shards=shards)
+                canonical_samples.append(
+                    _replies(extra) / extra.timing["run_s"])
+                digests_identical &= cluster_digest(extra) == base_digest
         digests_identical &= digest == base_digest
         conservation_exact &= bool(cons["exact"])
         speedup = base_run_s / result.timing["run_s"]
@@ -72,6 +94,7 @@ def run_shard_suite(*, quick: bool = False,
             "build_s": result.timing["build_s"],
             "run_s": result.timing["run_s"],
             "total_s": total_s,
+            "replies_per_sec": replies / result.timing["run_s"],
             "speedup_vs_1shard": speedup,
             "parallel_efficiency": speedup / min(shards, cores),
             "digest": digest,
@@ -90,6 +113,9 @@ def run_shard_suite(*, quick: bool = False,
         "duration_ns": config.duration_ns,
         "lookahead_ns": config.fabric_latency_ns,
         "workloads": workloads,
+        "canonical_replies_per_sec":
+            workloads[f"shards{shard_counts[0]}"]["replies_per_sec"],
+        "canonical_replies_per_sec_samples": canonical_samples,
         "canonical_speedup_x4": speedup_x4,
         "digests_identical": digests_identical,
         "conservation_exact": conservation_exact,

@@ -43,6 +43,7 @@ from repro.bench.experiment import (
 )
 from repro.fabric.spec import Topology, TopologySpec
 from repro.faults import FaultPlan
+from repro.flows.config import FlowExportConfig
 from repro.kernel.config import KernelConfig
 from repro.kernel.costs import CostModel
 from repro.prism.mode import StackMode
@@ -53,6 +54,36 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Scenario", "ClusterScenario", "Topology", "run_scenarios"]
 
 _FG_KINDS = ("pingpong", "flood")
+
+
+def _flow_config(sample_rate: int, *, max_flows: Optional[int],
+                 active_timeout_ns: Optional[int],
+                 idle_timeout_ns: Optional[int],
+                 config: Optional[FlowExportConfig]
+                 ) -> Optional[FlowExportConfig]:
+    """Resolve the ``with_flows`` knobs into a FlowExportConfig.
+
+    ``config=`` wins when given (other knobs then must be absent);
+    ``sample_rate=0`` disables export and returns ``None``.
+    """
+    knobs: dict = {}
+    if max_flows is not None:
+        knobs["max_flows"] = int(max_flows)
+    if active_timeout_ns is not None:
+        knobs["active_timeout_ns"] = int(active_timeout_ns)
+    if idle_timeout_ns is not None:
+        knobs["idle_timeout_ns"] = int(idle_timeout_ns)
+    if config is not None:
+        if knobs:
+            raise TypeError("with_flows() takes either config= or "
+                            f"individual knobs, not both: {sorted(knobs)}")
+        return config
+    if not sample_rate:
+        if knobs:
+            raise TypeError("with_flows(sample_rate=0) disables export; "
+                            f"knobs make no sense: {sorted(knobs)}")
+        return None
+    return FlowExportConfig(sample_rate=int(sample_rate), **knobs)
 
 
 class Scenario:
@@ -175,6 +206,25 @@ class Scenario:
         if isinstance(plan, str):
             plan = FaultPlan.parse(plan)
         return self._replace(faults=plan)
+
+    def with_flows(self, sample_rate: int = 64, *,
+                   max_flows: Optional[int] = None,
+                   active_timeout_ns: Optional[int] = None,
+                   idle_timeout_ns: Optional[int] = None,
+                   config: Optional[FlowExportConfig] = None) -> "Scenario":
+        """Enable sampled flow-record export (1-in-``sample_rate``).
+
+        The result gains a ``flows`` block (record set + counters) ready
+        for :func:`repro.flows.export_flows`; the simulation outcome is
+        pinned identical to an export-free run.  Pass an explicit
+        ``config=`` to reuse a prebuilt
+        :class:`~repro.flows.FlowExportConfig`, or ``sample_rate=0`` /
+        ``config=None`` with no other knobs to disable again.
+        """
+        return self._replace(flow_export=_flow_config(
+            sample_rate, max_flows=max_flows,
+            active_timeout_ns=active_timeout_ns,
+            idle_timeout_ns=idle_timeout_ns, config=config))
 
     # ------------------------------------------------------------------
     # Execution
@@ -383,6 +433,21 @@ class ClusterScenario:
         if isinstance(plan, str):
             plan = FaultPlan.parse(plan)
         return self._replace(faults=plan)
+
+    def with_flows(self, sample_rate: int = 64, *,
+                   max_flows: Optional[int] = None,
+                   active_timeout_ns: Optional[int] = None,
+                   idle_timeout_ns: Optional[int] = None,
+                   config: Optional[FlowExportConfig] = None
+                   ) -> "ClusterScenario":
+        """Enable sampled flow-record export on every host collector
+        (plus the fabric collector in multi-hop mode).  See
+        :meth:`Scenario.with_flows`; the merged record set is pinned
+        identical at every shard count."""
+        return self._replace(flow_export=_flow_config(
+            sample_rate, max_flows=max_flows,
+            active_timeout_ns=active_timeout_ns,
+            idle_timeout_ns=idle_timeout_ns, config=config))
 
     def shards(self, shards: int) -> "ClusterScenario":
         """How many worker processes to partition the hosts across."""

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.bench.runner import _jsonable
 from repro.fabric.spec import TopologySpec
 from repro.faults.plan import FaultPlan
+from repro.flows.config import FlowExportConfig
 from repro.prism.mode import StackMode
 from repro.sim.units import MS
 
@@ -70,6 +71,15 @@ class ClusterConfig:
     #: :class:`~repro.fabric.network.FabricNetwork` (ECMP + flowlets)
     #: and the lookahead horizon is the spec's minimum path latency.
     topology: Optional[TopologySpec] = None
+    #: Optional sampled flow-record export
+    #: (:class:`repro.flows.FlowExportConfig`).  ``None`` (the default)
+    #: leaves every hook a single attribute check and — like
+    #: ``topology`` — omits the key from :meth:`to_dict`, keeping all
+    #: pre-flow digests byte-identical.  When set, per-host collectors
+    #: plus an executor-owned fabric collector sample 1-in-N packets
+    #: into :class:`~repro.flows.records.FlowRecord` sets merged onto
+    #: :attr:`ClusterResult.flows`.
+    flow_export: Optional[FlowExportConfig] = None
 
     def __post_init__(self) -> None:
         if self.hosts < 2:
@@ -147,11 +157,13 @@ class ClusterConfig:
             "fabric_bytes_per_ns": self.fabric_bytes_per_ns,
             "faults": self.faults.to_dict() if self.faults else None,
         }
-        # Unlike faults (always present, None-valued), the topology key
-        # only appears when set: pre-spec cluster digests hash to_dict()
-        # output and must stay byte-identical.
+        # Unlike faults (always present, None-valued), the topology and
+        # flow_export keys only appear when set: pre-existing cluster
+        # digests hash to_dict() output and must stay byte-identical.
         if self.topology is not None:
             out["topology"] = self.topology.to_dict()
+        if self.flow_export is not None:
+            out["flow_export"] = self.flow_export.to_dict()
         return out
 
     @classmethod
@@ -165,6 +177,9 @@ class ClusterConfig:
             data["faults"] = None
         if data.get("topology") is not None:
             data["topology"] = TopologySpec.from_dict(data["topology"])
+        if data.get("flow_export") is not None:
+            data["flow_export"] = FlowExportConfig.from_dict(
+                data["flow_export"])
         return cls(**data)
 
 
@@ -191,6 +206,13 @@ class ClusterResult:
     #: then absent from the digest payload so legacy digests are
     #: untouched.  Deterministic, so it *is* digested when present.
     fabric: Optional[Dict[str, Any]] = None
+    #: Merged sampled flow records (``None`` unless the config enabled
+    #: :attr:`ClusterConfig.flow_export`).  Excluded from the digest:
+    #: the digest contract is "equal ⇔ identical simulation outcome",
+    #: and flow records are *derived* observability data whose own
+    #: shard-independence is pinned by a separate record digest
+    #: (``flows["record_digest"]``) and the determinism tests.
+    flows: Optional[Dict[str, Any]] = None
     #: Execution shape — excluded from the digest.
     shards: int = 1
     timing: Dict[str, Any] = field(default_factory=dict)
@@ -212,6 +234,12 @@ class ClusterResult:
         out["digest"] = cluster_digest(self)
         out["shards"] = self.shards
         out["timing"] = _jsonable(self.timing)
+        if self.flows is not None:
+            # Summary only — counters and the record digest; the full
+            # record list goes to a sink, not into run reports.
+            out["flows"] = {key: _jsonable(value)
+                            for key, value in self.flows.items()
+                            if key != "records"}
         return out
 
 

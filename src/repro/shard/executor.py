@@ -39,6 +39,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
+from repro.flows.records import merge_flow_blocks
 from repro.metrics.stats import summarize_ns
 from repro.overlay.wirefmt import WireBatch
 from repro.shard.cluster import ClusterConfig, ClusterResult
@@ -73,6 +74,18 @@ def run_cluster(config: ClusterConfig, *, shards: int = 1,
         from repro.shard.cluster import CROSS_HEADER_BYTES
         fabric = FabricNetwork(config.topology, seed=config.seed,
                                header_bytes=CROSS_HEADER_BYTES)
+        if config.flow_export is not None:
+            # Executor-owned link collector: samples the globally
+            # sorted transit stream, so its records are shard-count
+            # independent like the fabric stats.
+            from repro.flows import FabricFlowTap, FlowCollector
+            from repro.overlay.wirefmt import CLS_NAMES
+            fabric.flows = FabricFlowTap(
+                FlowCollector(config.flow_export, scope="fabric",
+                              seed=config.seed),
+                host_names=[h.name for h in config.topology.hosts],
+                dir_names=fabric._dir_names,
+                cls_names=CLS_NAMES)
 
     build_start = time.perf_counter()
     workers = [worker_cls(config, block) for block in partitions]
@@ -95,6 +108,12 @@ def run_cluster(config: ClusterConfig, *, shards: int = 1,
         while t < end:
             t = min(t + horizon, end)
             windows += 1
+            if fabric is not None and fabric.flows is not None:
+                # Barrier-aligned expiry on the sim clock: the window
+                # sequence is a pure function of the config, so the
+                # fabric collector expires identically at any shard
+                # count.
+                fabric.flows.collector.expire(t)
             for worker, inbox in zip(workers, inboxes):
                 worker.post_step(t, inbox)
             outs = [worker.wait_step() for worker in workers]
@@ -140,10 +159,14 @@ def run_cluster(config: ClusterConfig, *, shards: int = 1,
         for worker in workers:
             worker.close()
 
+    fabric_flows = None
+    if fabric is not None and fabric.flows is not None:
+        fabric_flows = fabric.flows.collector.finalize()
     return _merge(config, host_results, shards=shards,
                   routed_total=routed_total, in_flight=in_flight,
                   windows=windows,
                   fabric=fabric.stats() if fabric is not None else None,
+                  fabric_flows=fabric_flows,
                   timing={"build_s": build_s, "run_s": run_s,
                           "processes": bool(processes)})
 
@@ -151,12 +174,24 @@ def run_cluster(config: ClusterConfig, *, shards: int = 1,
 def _merge(config: ClusterConfig, host_results: Dict[int, dict], *,
            shards: int, routed_total: int, in_flight: int, windows: int,
            fabric: Optional[Dict[str, object]],
-           timing: Dict[str, object]) -> ClusterResult:
+           timing: Dict[str, object],
+           fabric_flows: Optional[dict] = None) -> ClusterResult:
     """Deterministically merge per-host results and check conservation."""
     hosts = [host_results[i] for i in sorted(host_results)]
     if len(hosts) != config.hosts:
         raise RuntimeError(f"merged {len(hosts)} host results, "
                            f"expected {config.hosts}")
+
+    # Flow blocks are popped *before* the host dicts reach the digest
+    # payload: the cluster digest stays the pure simulation outcome,
+    # and the merged record set gets its own digest below.
+    flows = None
+    if config.flow_export is not None:
+        blocks = [host.pop("flows") for host in hosts]
+        if fabric_flows is not None:
+            blocks.append(fabric_flows)
+        flows = merge_flow_blocks(
+            blocks, sample_rate=config.flow_export.sample_rate)
 
     samples: List[int] = []
     totals: Dict[str, Dict[str, int]] = {
@@ -214,5 +249,6 @@ def _merge(config: ClusterConfig, host_results: Dict[int, dict], *,
         totals=totals,
         conservation=conservation,
         fabric=fabric,
+        flows=flows,
         shards=shards,
         timing=timing)

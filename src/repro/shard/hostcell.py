@@ -38,6 +38,7 @@ from repro.apps.remote import RemoteRequestSender
 from repro.apps.sockperf import PingRecord, SockperfUdpFlood, SockperfUdpServer
 from repro.bench.testbed import build_testbed
 from repro.faults import FaultInjector
+from repro.flows import FlowCollector, KernelFlowTap
 from repro.metrics.recorder import CpuUtilizationSampler, LatencyRecorder
 from repro.overlay.wirefmt import (CLS_CODE, CLS_NAMES, KIND_CODE,
                                    WireBatch, WirePacket)
@@ -175,12 +176,37 @@ class HostCell:
                                              lambda: self.sim.now)
         self._marked = False
 
+        # --- sampled flow export (optional, digest-neutral) -----------
+        # One collector per cell; cells are one-simulator-per-host, so
+        # collector state never depends on shard placement.  The kernel
+        # tap adds socket/NIC/drop sites; _fabric_send/_inject_row fold
+        # host-level egress/ingress (with reply RTT) directly.
+        if self._fabric_mode:
+            self._host_labels = [h.name for h in cluster.topology.hosts]
+        else:
+            self._host_labels = [f"h{i}" for i in range(cluster.hosts)]
+        self.flows: Optional[FlowCollector] = None
+        if cluster.flow_export is not None:
+            self.flows = FlowCollector(cluster.flow_export,
+                                       scope=self._host_labels[host_id],
+                                       seed=cluster.seed)
+            self.testbed.server.kernel.flows = KernelFlowTap(
+                self.flows, self.sim)
+
     # ------------------------------------------------------------------
     # Fabric egress (sender-side, partition-independent)
     # ------------------------------------------------------------------
     def _fabric_send(self, dst: int, cls: str, kind: str, seq: int,
                      sent_at: int, payload_len: int) -> None:
         now = self.sim.now
+        flows = self.flows
+        if flows is not None:
+            site = "egress:" + kind
+            if flows.sampler.take(site):
+                flows.fold(now, site, self._host_labels[self.host_id],
+                           self._host_labels[dst], 0,
+                           HI_PORT if cls == "hi" else LO_PORT, 17, cls,
+                           payload_len + CROSS_HEADER_BYTES)
         if self._fabric_mode:
             # Multi-hop fabric: serialization and queueing happen hop by
             # hop in the executor's FabricNetwork, which rewrites the
@@ -252,6 +278,19 @@ class HostCell:
                     seq: int, payload_len: int, sent_at: int) -> None:
         self.n_injected += 1
         cls = CLS_NAMES[cls_code]
+        flows = self.flows
+        if flows is not None:
+            # Ingress sample; replies fold end-to-end RTT (now - the
+            # original request's sent_at).
+            site = "ingress:req" if kind_code == 1 else "ingress:reply"
+            if flows.sampler.take(site):
+                now = self.sim.now
+                flows.fold(now, site, self._host_labels[src],
+                           self._host_labels[self.host_id], 0,
+                           HI_PORT if cls_code == 0 else LO_PORT, 17, cls,
+                           payload_len + CROSS_HEADER_BYTES,
+                           latency_ns=(now - sent_at
+                                       if kind_code != 1 else None))
         if kind_code == 1:  # KIND_NAMES[1] == "req"
             sender = self._cross_senders[(src, cls)]
             sender.send_udp(
@@ -284,6 +323,11 @@ class HostCell:
             self.sampler.mark()
             self._marked = True
         processed += sim.run_window(horizon)
+        if self.flows is not None:
+            # Barrier-aligned expiry: the horizon sequence is a pure
+            # function of the config, so expiry points (and therefore
+            # the exported record set) are shard-count independent.
+            self.flows.expire(horizon)
         return processed
 
     def finalize(self) -> Dict[str, object]:
@@ -323,4 +367,8 @@ class HostCell:
         if self.injector is not None:
             out["fault_summary"] = self.injector.summary()
             out["conservation"] = self.injector.conservation_report()
+        if self.flows is not None:
+            # Popped back out by the executor's merge before the host
+            # dicts enter the cluster digest.
+            out["flows"] = self.flows.finalize()
         return out

@@ -61,7 +61,7 @@ def protocol_rcv(kernel: "Kernel", netns: "NetNamespace", skb: SKBuff,
 def _drop(kernel: "Kernel", netns: "NetNamespace", skb: SKBuff,
           reason: str) -> None:
     name = f"{netns.name}:rcv:{reason}"
-    kernel.count_drop(name)
+    kernel.count_drop(name, skb)
     if kernel.tracer.has_subscribers(TracePoint.DROP):
         kernel.tracer.emit(TracePoint.DROP, queue=name, skb=skb)
     ledger = kernel.ledger

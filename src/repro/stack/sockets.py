@@ -59,7 +59,7 @@ class UdpSocket:
         tracer = kernel.tracer
         ledger = kernel.ledger
         if not self.rcvbuf.enqueue(skb):
-            kernel.count_drop(self.rcvbuf.name)
+            kernel.count_drop(self.rcvbuf.name, skb)
             tracer.emit(TracePoint.DROP, queue=self.rcvbuf.name, skb=skb)
             if ledger is not None:
                 w = skb.gro_segments
@@ -77,6 +77,11 @@ class UdpSocket:
         telemetry = self.kernel.telemetry
         if telemetry is not None:
             telemetry.on_socket_deliver(self.rcvbuf.name)
+        flows = kernel.flows
+        if flows is not None:
+            # Terminal success site: the flow tap samples delivery and
+            # folds wire+stack latency (now - packet.created_at).
+            flows.on_deliver(self.rcvbuf.name, skb)
         skb.mark("socket_enqueue", self.kernel.sim.now)
         if tracer.active and tracer.has_subscribers(TracePoint.SOCKET_ENQUEUE):
             tracer.emit(TracePoint.SOCKET_ENQUEUE,

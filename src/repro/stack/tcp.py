@@ -137,7 +137,7 @@ class TcpEndpoint:
     def _deliver(self, message: TcpMessage, flow: FlowKey, skb: SKBuff,
                  from_cpu: "CpuCore") -> bool:
         if not self.rcvbuf.enqueue((message, flow)):
-            self.kernel.count_drop(self.rcvbuf.name)
+            self.kernel.count_drop(self.rcvbuf.name, skb)
             self.kernel.tracer.emit(TracePoint.DROP, queue=self.rcvbuf.name,
                                     skb=skb)
             return False

@@ -18,11 +18,23 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["render_openmetrics", "write_openmetrics"]
 
+#: Label *values* escape backslash, double-quote, and newline (they are
+#: rendered inside double quotes).
 _ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+#: HELP text is not quoted, so per the exposition format only backslash
+#: and newline are escaped there — a double quote passes through
+#: verbatim.  Escaping it too (the old behaviour) made scrapers render
+#: ``\"`` literally in metric descriptions.
+_HELP_ESCAPES = {"\\": "\\\\", "\n": "\\n"}
 
 
 def _escape(value: str) -> str:
     return "".join(_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _escape_help(value: str) -> str:
+    return "".join(_HELP_ESCAPES.get(ch, ch) for ch in value)
 
 
 def _labels(names: Iterable[str], values: Iterable[str],
@@ -52,7 +64,8 @@ def render_openmetrics(registry: "MetricsRegistry") -> str:
     for family in registry.families():
         lines.append(f"# TYPE {family.name} {family.kind}")
         if family.help:
-            lines.append(f"# HELP {family.name} {_escape(family.help)}")
+            lines.append(f"# HELP {family.name} "
+                         f"{_escape_help(family.help)}")
         names = family.label_names
         for values, child in family.samples():
             if family.kind == "counter":

@@ -199,3 +199,23 @@ class TestOpenMetricsExposition:
 
     def test_exposition_ends_with_eof(self):
         assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+    def test_label_value_escaping(self):
+        """Exposition format: label values escape \\, ", and newline."""
+        reg = MetricsRegistry()
+        c = reg.counter("repro_c", "c", ("l",))
+        c.labels('a\\b"c\nd').inc()
+        line = [l for l in render_openmetrics(reg).splitlines()
+                if l.startswith("repro_c_total")][0]
+        assert line == 'repro_c_total{l="a\\\\b\\"c\\nd"} 1'
+
+    def test_help_escaping_quotes_pass_through(self):
+        """HELP text is unquoted: only \\ and newline are escaped there —
+        a double quote must appear verbatim (regression: it used to be
+        escaped like a label value)."""
+        reg = MetricsRegistry()
+        reg.counter("repro_c", 'drops on "ring" queues\nper class\\site')
+        help_line = [l for l in render_openmetrics(reg).splitlines()
+                     if l.startswith("# HELP ")][0]
+        assert help_line == (
+            '# HELP repro_c drops on "ring" queues\\nper class\\\\site')
