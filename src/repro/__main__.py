@@ -43,7 +43,8 @@ from repro.bench.report import format_experiment_header, format_table
 
 
 def _canonical_scenario(mode: str, bg_rate_pps: float,
-                        faults: str = None):
+                        faults: str = None,
+                        irq_moderation: str = "fixed"):
     """The canonical stress scenario (--seeds / --trace runs)."""
     from repro.scenario import Scenario
     from repro.sim.units import MS
@@ -52,6 +53,8 @@ def _canonical_scenario(mode: str, bg_rate_pps: float,
                 .foreground("pingpong", rate_pps=1_000)
                 .background(rate_pps=bg_rate_pps)
                 .timing(duration_ns=150 * MS, warmup_ns=40 * MS))
+    if irq_moderation != "fixed":
+        scenario = scenario.kernel(irq_moderation=irq_moderation)
     if faults:
         scenario = scenario.with_faults(faults)
     return scenario
@@ -59,7 +62,8 @@ def _canonical_scenario(mode: str, bg_rate_pps: float,
 
 def _fault_run(args) -> None:
     """Run the canonical scenario under an injected fault plan."""
-    scenario = _canonical_scenario(args.mode, args.bg, args.faults)
+    scenario = _canonical_scenario(args.mode, args.bg, args.faults,
+                                   args.irq_moderation)
     result = scenario.run()
     print(result)
     recovery = result.recovery or {}
@@ -81,11 +85,13 @@ def _fault_run(args) -> None:
 
 
 def _seed_stability(seeds, jobs: int, cache: bool, mode: str,
-                    bg_rate_pps: float, faults: str = None) -> None:
+                    bg_rate_pps: float, faults: str = None,
+                    irq_moderation: str = "fixed") -> None:
     """Print mean/stdev stability statistics for a canonical scenario."""
     from repro.bench.runner import run_repeated
 
-    config = _canonical_scenario(mode, bg_rate_pps, faults).build()
+    config = _canonical_scenario(mode, bg_rate_pps, faults,
+                                 irq_moderation).build()
     repeated = run_repeated(config, seeds, jobs=jobs, cache=cache)
     print(f"stability over seeds {seeds} ({config.label()}):")
     for metric, stat in repeated.stability.items():
@@ -94,9 +100,11 @@ def _seed_stability(seeds, jobs: int, cache: bool, mode: str,
 
 
 def _traced_run(path: str, mode: str, bg_rate_pps: float,
-                faults: str = None) -> None:
+                faults: str = None,
+                irq_moderation: str = "fixed") -> None:
     """Run the canonical scenario traced; write Chrome JSON, print Fig. 4."""
-    scenario = _canonical_scenario(mode, bg_rate_pps, faults)
+    scenario = _canonical_scenario(mode, bg_rate_pps, faults,
+                                   irq_moderation)
     traced = scenario.run_traced()
     out = traced.write_chrome(path)
     print(f"[{scenario.label()}] {traced.result.fg_latency}")
@@ -110,7 +118,8 @@ def _traced_run(path: str, mode: str, bg_rate_pps: float,
 
 def _instrumented_run(args) -> None:
     """Run the canonical scenario metered+profiled; write requested files."""
-    scenario = _canonical_scenario(args.mode, args.bg, args.faults)
+    scenario = _canonical_scenario(args.mode, args.bg, args.faults,
+                                   args.irq_moderation)
     instrumented = scenario.run_instrumented()
     print(instrumented.result)
     if args.metrics:
@@ -268,7 +277,15 @@ def main(argv=None) -> int:
                         help="only diff series whose name contains SUBSTR")
     parser.add_argument("--mode", default="vanilla",
                         help="stack mode for --trace/--seeds/--metrics runs "
-                        "(vanilla, prism-batch, prism-sync)")
+                        "(vanilla, prism-batch, prism-sync, bypass)")
+    parser.add_argument("--irq-moderation",
+                        choices=("fixed", "adaptive", "off"),
+                        default="fixed",
+                        help="physical-NIC rx interrupt moderation for "
+                        "--trace/--seeds/--metrics/--faults runs: 'fixed' "
+                        "static coalescing window, 'adaptive' DIM-style "
+                        "rate-tuned window, 'off' no coalescing "
+                        "(default: fixed; ignored by --mode bypass)")
     parser.add_argument("--bg", type=float, default=300_000, metavar="PPS",
                         help="background flood rate for --trace/--seeds/"
                         "--metrics runs (default: 300000 pps)")
@@ -351,7 +368,8 @@ def main(argv=None) -> int:
 
     if args.flows:
         # Standalone --flows: canonical two-host scenario with export on.
-        scenario = (_canonical_scenario(args.mode, args.bg, args.faults)
+        scenario = (_canonical_scenario(args.mode, args.bg, args.faults,
+                                        args.irq_moderation)
                     .with_flows(args.flow_sample))
         result = scenario.run()
         print(result)
@@ -373,7 +391,8 @@ def main(argv=None) -> int:
             return 0
 
     if args.trace:
-        _traced_run(args.trace, args.mode, args.bg, args.faults)
+        _traced_run(args.trace, args.mode, args.bg, args.faults,
+                    args.irq_moderation)
         if not (args.figure or args.seeds):
             return 0
 
@@ -384,7 +403,7 @@ def main(argv=None) -> int:
             parser.error(f"--seeds expects comma-separated integers, "
                          f"got {args.seeds!r}")
         _seed_stability(seeds, args.jobs, args.cache, args.mode, args.bg,
-                        args.faults)
+                        args.faults, args.irq_moderation)
         if not args.figure:
             return 0
 

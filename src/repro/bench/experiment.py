@@ -193,11 +193,30 @@ class ExperimentConfig:
         return cls(**kwargs)
 
 
+#: Knob fields added after schema v1 shipped.  They are omitted from the
+#: serialized dict while at their default value so that configs which
+#: never touch them keep their historical byte-exact serialization (the
+#: disk cache keys on it); ``_frozen_from_dict`` tolerates the absence
+#: via the dataclass defaults.
+_OMIT_WHEN_DEFAULT = frozenset({
+    "bypass_stage_overhead_ns",
+    "bypass_stage_cost_scale",
+    "irq_mod_epoch_ns",
+    "irq_mod_min_ns",
+    "irq_mod_max_ns",
+    "irq_mod_up_pps",
+    "irq_mod_down_pps",
+    "irq_moderation",
+})
+
+
 def _frozen_to_dict(value: Union[CostModel, KernelConfig]) -> Dict[str, Any]:
     """Serialize a frozen knob dataclass field-by-field."""
     out: Dict[str, Any] = {}
     for f in dataclass_fields(value):
         v = getattr(value, f.name)
+        if f.name in _OMIT_WHEN_DEFAULT and v == f.default:
+            continue
         if isinstance(v, StackMode):
             v = str(v)
         elif isinstance(v, tuple):

@@ -13,9 +13,12 @@ under the same ToR, ``k/2`` within a pod, ``(k/2)^2`` across pods.
 
 Node naming is deterministic and dense: hosts ``h0..``, ToRs
 ``t<pod>_<j>``, aggs ``a<pod>_<j>``, cores ``c<i>``.  Containers on host
-``i`` are ``srv-hi-<i>`` at ``10.0.<i>.10`` (the high-priority service)
-and ``srv-lo-<i>`` at ``10.0.<i>.11``; extra containers continue at
-``.12``.
+``i`` are ``srv-hi-<i>`` at ``10.<i//250>.<i%250>.10`` (the high-priority
+service) and ``srv-lo-<i>`` at ``10.<i//250>.<i%250>.11``; extra
+containers continue at ``.12``.  Spreading hosts across the second octet
+keeps the third octet < 250 and lifts the old 254-host cap to 62 500;
+hosts 0..249 keep their historical ``10.0.<i>.x`` addresses, so every
+k<=12 placement (and its digests) is byte-identical to the old scheme.
 """
 
 from __future__ import annotations
@@ -56,8 +59,9 @@ def build_fat_tree(k: int = 4, *, hosts: Optional[int] = None,
     if not (2 <= n_hosts <= capacity):
         raise ValueError(
             f"a k={k} fat-tree holds 2..{capacity} hosts, got {n_hosts}")
-    if n_hosts > 254:
-        raise ValueError("container IP scheme 10.0.<host>.x caps hosts at 254")
+    if n_hosts > 62_500:
+        raise ValueError("container IP scheme 10.<host//250>.<host%250>.x "
+                         "caps hosts at 62500")
 
     switches = []
     links = []
@@ -91,7 +95,7 @@ def build_fat_tree(k: int = 4, *, hosts: Optional[int] = None,
             ContainerSpec(name=(f"srv-hi-{i}" if c == 0 else
                                 f"srv-lo-{i}" if c == 1 else
                                 f"srv-x{c}-{i}"),
-                          ip=f"10.0.{i}.{10 + c}")
+                          ip=f"10.{i // 250}.{i % 250}.{10 + c}")
             for c in range(containers_per_host))
         host_specs.append(HostSpec(i, f"h{i}", attach=attach,
                                    containers=containers))

@@ -234,6 +234,10 @@ class FaultInjector:
     def _flush_ring(self) -> None:
         """Device reset: discard ring contents, with full accounting."""
         nic = self.testbed.server.nic
+        # The reset also tears down a pending moderation timer: a timer
+        # left armed would fire into the now-empty NIC (a dead event at
+        # best, a leak into engine teardown at worst).
+        nic.cancel_irq_timer()
         rings = [nic.ring] + ([nic.ring_high]
                               if nic.ring_high is not None else [])
         kernel = self.testbed.server.kernel

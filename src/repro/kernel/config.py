@@ -48,8 +48,21 @@ class KernelConfig:
     #: to the high-priority device queues; the paper's binary prototype
     #: corresponds to 0.
     high_priority_max_level: int = 0
-    #: Initial stack mode; switchable at runtime via procfs.
+    #: Initial stack mode; switchable at runtime via procfs (except
+    #: BYPASS, which rewires the datapath at build time).
     initial_mode: StackMode = StackMode.VANILLA
+    #: Physical-NIC interrupt moderation policy: ``"fixed"`` coalesces
+    #: with the static ``costs.irq_rate_limit_ns`` window, ``"adaptive"``
+    #: re-tunes the window each epoch from the observed packet rate
+    #: (DIM-style), ``"off"`` fires an interrupt per arrival burst with
+    #: no coalescing.  Ignored by the BYPASS datapath (no interrupts).
+    irq_moderation: str = "fixed"
+
+    def __post_init__(self) -> None:
+        if self.irq_moderation not in ("fixed", "adaptive", "off"):
+            raise ValueError(
+                f"unknown irq_moderation {self.irq_moderation!r}; "
+                "expected 'fixed', 'adaptive', or 'off'")
 
     def replace(self, **changes: object) -> "KernelConfig":
         """Return a copy with the given fields changed."""

@@ -110,6 +110,14 @@ class Kernel:
     # Mode switching
     # ------------------------------------------------------------------
     def _set_mode(self, mode: StackMode) -> None:
+        if mode is not self.mode and StackMode.BYPASS in (mode, self.mode):
+            # BYPASS is a build-time datapath: the poll-mode driver owns
+            # the NIC rings from construction and the irq machinery is
+            # never armed.  Flipping it live would strand in-flight
+            # packets between two ring-drain disciplines.
+            raise ValueError(
+                f"cannot switch between {self.mode} and {mode} at runtime; "
+                "bypass is selected at build time (config.initial_mode)")
         self.mode = mode
 
     def set_mode(self, mode: StackMode) -> None:
@@ -121,9 +129,12 @@ class Kernel:
     # ------------------------------------------------------------------
     def _make_net_rx_handler(self, softnet: SoftnetData):
         def handler() -> Generator[int, None, None]:
-            if self.mode is StackMode.VANILLA:
-                return net_rx_action_vanilla(self, softnet)
-            return net_rx_action_prism(self, softnet)
+            # BYPASS shares the vanilla handler: the PMD never raises
+            # NET_RX for the physical NIC, but RPS re-steering can still
+            # land skbs in a remote backlog, which drains FIFO.
+            if self.mode.is_prism:
+                return net_rx_action_prism(self, softnet)
+            return net_rx_action_vanilla(self, softnet)
         return handler
 
     def softnet_for(self, cpu_id: int) -> SoftnetData:

@@ -60,6 +60,35 @@ class CostModel:
     #: instead of per batch — this is the batching benefit PRISM-sync
     #: gives up (paper §III-B1, Fig. 8's ~300 vs ~400 Kpps).
     sync_stage_overhead_ns: int = 450
+    #: Per-stage overhead of the BYPASS run-to-completion path.  Cheaper
+    #: than ``sync_stage_overhead_ns`` because the poll-mode driver runs
+    #: the whole pipeline in one tight user-space loop: no softirq frame
+    #: on the stack, stage code stays hot in the I-cache across packets,
+    #: and there is no hardirq/NAPI bookkeeping between stages.
+    bypass_stage_overhead_ns: int = 150
+    #: Scale applied to the per-stage *base* cost in BYPASS mode.  A
+    #: user-space poll-mode driver (DPDK/AF_XDP style) skips the skb
+    #: slab allocation, refcounting, and generic-stack bookkeeping the
+    #: kernel stages pay, cutting the fixed per-packet stage cost
+    #: roughly in half (per-byte copy/touch costs are physics and are
+    #: not scaled).
+    bypass_stage_cost_scale: float = 0.5
+
+    # ------------------------------------------------------------------
+    # Adaptive interrupt moderation (DIM-style, net_dim.c in spirit)
+    # ------------------------------------------------------------------
+    #: Measurement epoch for the adaptive moderator: arrivals are counted
+    #: per epoch and the coalescing window is re-tuned at each rollover.
+    irq_mod_epoch_ns: int = 500_000
+    #: Floor of the adaptive coalescing window (never moderate below).
+    irq_mod_min_ns: int = 5_000
+    #: Ceiling of the adaptive coalescing window.
+    irq_mod_max_ns: int = 180_000
+    #: Above this observed packet rate (pps) the window doubles — the
+    #: link is busy enough that batching beats per-packet latency.
+    irq_mod_up_pps: int = 150_000
+    #: Below this observed packet rate the window halves — latency wins.
+    irq_mod_down_pps: int = 50_000
 
     # ------------------------------------------------------------------
     # Per-stage per-packet costs (batched, warm cache)
@@ -173,6 +202,15 @@ class CostModel:
             cost = int(stage_base_ns + per_byte * wire_len)
             self._stage_cache[key] = cost
         return cost
+
+    def bypass_stage_base(self, stage_base_ns: int) -> int:
+        """The discounted stage base the poll-mode driver pays.
+
+        Only the fixed portion is scaled; callers still pass the result
+        through :meth:`stage_packet_cost`, so the per-byte copy/touch
+        component is charged in full.
+        """
+        return int(stage_base_ns * self.bypass_stage_cost_scale)
 
     def egress_cost(self, wire_len: int) -> int:
         """Per-packet egress cost for a packet of *wire_len* bytes."""

@@ -26,8 +26,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Generator, Optional, Tuple, TYPE_CHECKING
 
+from repro.kernel.bypass import PollModeDriver
 from repro.kernel.softnet import NapiStruct
 from repro.netdev.device import NetDevice, PacketStage
+from repro.prism.mode import StackMode
 from repro.netdev.queues import PacketQueue
 from repro.packet.addr import Ipv4Address, MacAddress
 from repro.packet.packet import Packet, vxlan_decapsulate
@@ -115,13 +117,18 @@ class NicStage(PacketStage):
         if packet.is_vxlan:
             vxlan_dev = self.nic.vxlan_by_vni.get(packet.vxlan.vni)
             if vxlan_dev is not None:
-                yield costs.stage_packet_cost(costs.nic_pkt_ns, skb.wire_len)
+                base = costs.nic_pkt_ns
+                if kernel.mode is StackMode.BYPASS:
+                    base = costs.bypass_stage_base(base)
+                yield costs.stage_packet_cost(base, skb.wire_len)
                 skb.packet = self._decap(packet)
                 yield from vxlan_dev.gro_cells_receive(skb, softnet)
                 return
         # Host network: the entire pipeline is this one stage.
-        yield costs.stage_packet_cost(costs.nic_pkt_ns + costs.veth_pkt_ns,
-                                      skb.wire_len, is_copy_stage=True)
+        base = costs.nic_pkt_ns + costs.veth_pkt_ns
+        if kernel.mode is StackMode.BYPASS:
+            base = costs.bypass_stage_base(base)
+        yield costs.stage_packet_cost(base, skb.wire_len, is_copy_stage=True)
         if self.nic.netns is not None:
             protocol_rcv(kernel, self.nic.netns, skb, softnet.cpu)
 
@@ -260,10 +267,39 @@ class PhysicalNic(NetDevice):
         self.rx_stage = self.napi.stage
         self.irq_enabled = True
         self.vxlan_by_vni: Dict[int, "VxlanDevice"] = {}
-        # Adaptive interrupt moderation state (mlx5 adaptive-rx model):
-        # at most one rx interrupt per costs.irq_rate_limit_ns window.
+        # Interrupt moderation state: at most one rx interrupt per
+        # moderation window.  The window is the static
+        # costs.irq_rate_limit_ns ("fixed", the mlx5 adaptive-rx model),
+        # zero ("off"), or re-tuned each epoch from the observed arrival
+        # rate ("adaptive", the DIM model).
         self._last_irq_at = -(1 << 62)
         self._irq_timer = None
+        costs = kernel.costs
+        moderation = config.irq_moderation
+        if moderation == "adaptive":
+            self._mod_window = max(costs.irq_mod_min_ns,
+                                   min(costs.irq_rate_limit_ns,
+                                       costs.irq_mod_max_ns))
+        elif moderation == "off":
+            self._mod_window = 0
+        else:
+            self._mod_window = costs.irq_rate_limit_ns
+        self._mod_epoch_start = 0
+        self._mod_epoch_packets = 0
+        # BYPASS datapath: a poll-mode driver owns the rings; the irq
+        # machinery above is never exercised (and the adaptive moderator
+        # has nothing to moderate).
+        self._pmd = None
+        self._mod_adaptive = False
+        if config.initial_mode is StackMode.BYPASS:
+            self._pmd = PollModeDriver(self)
+        else:
+            self._mod_adaptive = moderation == "adaptive"
+
+    @property
+    def moderation_window_ns(self) -> int:
+        """Current rx-interrupt coalescing window (0 = immediate irqs)."""
+        return self._mod_window
 
     def register_vxlan(self, vxlan_dev: "VxlanDevice") -> None:
         """Route VXLAN packets with this device's VNI to it."""
@@ -277,6 +313,8 @@ class PhysicalNic(NetDevice):
         self.rx_packets += 1
         self.rx_bytes += packet.wire_len
         kernel = self.kernel
+        if self._mod_adaptive:
+            self._mod_observe(kernel.sim.now)
         ring = self._hardware_steer(packet)
         ledger = kernel.ledger
         if ledger is not None:
@@ -299,7 +337,35 @@ class PhysicalNic(NetDevice):
             # Host ingress sample site: the raw wire packet, before
             # classification (class label is "-" here by design).
             flows.on_nic_rx(ring.name, packet)
-        self._maybe_interrupt()
+        if self._pmd is not None:
+            self._pmd.notify()
+        else:
+            self._maybe_interrupt()
+
+    def _mod_observe(self, now: int) -> None:
+        """Adaptive moderation: count the arrival; re-tune at epoch end.
+
+        DIM in spirit (net_dim.c): the observed packet rate over the last
+        epoch moves the coalescing window geometrically — double above
+        ``irq_mod_up_pps`` (throughput regime: batching wins), halve
+        below ``irq_mod_down_pps`` (latency regime: fire early), clamped
+        to [irq_mod_min_ns, irq_mod_max_ns].  Integer arithmetic only;
+        the trajectory is a pure function of the arrival times.
+        """
+        self._mod_epoch_packets += 1
+        costs = self.kernel.costs
+        elapsed = now - self._mod_epoch_start
+        if elapsed < costs.irq_mod_epoch_ns:
+            return
+        pps = self._mod_epoch_packets * 1_000_000_000 // elapsed
+        if pps >= costs.irq_mod_up_pps:
+            self._mod_window = min(max(self._mod_window, 1) * 2,
+                                   costs.irq_mod_max_ns)
+        elif pps <= costs.irq_mod_down_pps:
+            self._mod_window = max(self._mod_window // 2,
+                                   costs.irq_mod_min_ns)
+        self._mod_epoch_start = now
+        self._mod_epoch_packets = 0
 
     def _hardware_steer(self, packet: Packet) -> PacketQueue:
         """Pick the rx ring (flow-director model for the §VII-1 extension)."""
@@ -321,7 +387,7 @@ class PhysicalNic(NetDevice):
         if not self.irq_enabled or self.napi.scheduled:
             return
         now = self.kernel.sim.now
-        window = self.kernel.costs.irq_rate_limit_ns
+        window = self._mod_window
         if now - self._last_irq_at >= window:
             self._fire_irq()
         elif self._irq_timer is None:
@@ -334,6 +400,21 @@ class PhysicalNic(NetDevice):
         if self.irq_enabled and not self.napi.scheduled and self.napi.has_packets():
             self._fire_irq()
 
+    def cancel_irq_timer(self) -> None:
+        """Cancel a pending moderation timer (idempotent).
+
+        Called when the irq is masked (a pending timer would otherwise
+        dangle and fire an extra, unmoderated interrupt once NAPI
+        completes — reachable when the adaptive moderator shrinks the
+        window between arming and firing) and when fault injection
+        flushes the rings (a timer aimed at a now-empty NIC would leak
+        into engine teardown).
+        """
+        timer = self._irq_timer
+        if timer is not None:
+            self._irq_timer = None
+            timer.cancel()
+
     def _fire_irq(self) -> None:
         kernel = self.kernel
         self._last_irq_at = kernel.sim.now
@@ -344,6 +425,7 @@ class PhysicalNic(NetDevice):
             # unmasked, so a later arrival (or the moderation timer)
             # re-triggers delivery.  Ring contents are preserved.
             return
+        self.cancel_irq_timer()
         self.irq_enabled = False  # NIC masks its irq while scheduled
         cpu = kernel.cpu(self.cpu_id)
         cpu.hardirq(lambda: self.softnet.napi_schedule(self.napi))

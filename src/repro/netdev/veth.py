@@ -15,6 +15,7 @@ from typing import Generator, TYPE_CHECKING
 from repro.netdev.device import NetDevice, PacketStage
 from repro.packet.addr import Ipv4Address, MacAddress
 from repro.packet.skb import SKBuff
+from repro.prism.mode import StackMode
 from repro.stack.receive import protocol_rcv
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,7 +38,10 @@ class ProtocolStage(PacketStage):
     def process(self, skb: SKBuff, softnet: "SoftnetData"
                 ) -> Generator[int, None, None]:
         costs = self.kernel.costs
-        yield costs.stage_packet_cost(costs.veth_pkt_ns, skb.wire_len,
+        base = costs.veth_pkt_ns
+        if self.kernel.mode is StackMode.BYPASS:
+            base = costs.bypass_stage_base(base)
+        yield costs.stage_packet_cost(base, skb.wire_len,
                                       is_copy_stage=True)
         protocol_rcv(self.kernel, self.netns, skb, softnet.cpu)
 

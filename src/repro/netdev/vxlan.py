@@ -44,7 +44,10 @@ class BridgeStage(PacketStage):
     def process(self, skb: SKBuff, softnet: "SoftnetData"
                 ) -> Generator[int, None, None]:
         costs = self.kernel.costs
-        yield costs.stage_packet_cost(costs.bridge_pkt_ns, skb.wire_len)
+        base = costs.bridge_pkt_ns
+        if self.kernel.mode is StackMode.BYPASS:
+            base = costs.bypass_stage_base(base)
+        yield costs.stage_packet_cost(base, skb.wire_len)
         bridge = self.vxlan_dev.bridge
         if bridge is None:
             self._drop(skb, f"{self.vxlan_dev.name}:no-bridge")
@@ -101,9 +104,13 @@ class VxlanDevice(NetDevice):
         skb.dev = self
         self.count_rx(skb)
         cell = self.gro_cell_for(softnet)
-        sync_inline = (kernel.mode is StackMode.PRISM_SYNC
-                       and kernel.is_high_class(skb))
-        if not sync_inline:
+        # Packets that run to completion skip GRO: holding a segment for
+        # coalescing would reintroduce the queueing delay the inline
+        # path exists to remove (bypass runs *everything* inline).
+        inline = (kernel.mode is StackMode.BYPASS
+                  or (kernel.mode is StackMode.PRISM_SYNC
+                      and kernel.is_high_class(skb)))
+        if not inline:
             high = kernel.mode.is_prism and kernel.is_high_class(skb)
             queue = cell.queue_high if high else cell.queue_low
             if self.gro.try_merge_into_queue(queue, skb):

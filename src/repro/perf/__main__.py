@@ -9,6 +9,7 @@ Usage::
     python -m repro.perf --packetpath-only
     python -m repro.perf --shard-only     # space-parallel scaling suite
     python -m repro.perf --fabric-only    # fat-tree priority-survival suite
+    python -m repro.perf --datapath-only  # vanilla/prism-sync/bypass suite
     python -m repro.perf --label fastlane # tag the recorded run
     python -m repro.perf --profile prof.pstats  # cProfile the canonical cell
     python -m repro.perf --fabric-only --profile fab.pstats
@@ -35,6 +36,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.perf.datapath_bench import run_datapath_suite
 from repro.perf.engine_bench import run_engine_suite
 from repro.perf.experiment_bench import run_experiment_suite
 from repro.perf.fabric_bench import CANONICAL_FABRIC, run_fabric_suite
@@ -51,6 +53,7 @@ EXPERIMENTS_FILE = "BENCH_experiments.json"
 PACKETPATH_FILE = "BENCH_packetpath.json"
 SHARD_FILE = "BENCH_shard.json"
 FABRIC_FILE = "BENCH_fabric.json"
+DATAPATH_FILE = "BENCH_datapath.json"
 
 
 def _load(path: Path) -> Dict[str, object]:
@@ -194,6 +197,7 @@ def main(argv=None) -> int:
     parser.add_argument("--packetpath-only", action="store_true")
     parser.add_argument("--shard-only", action="store_true")
     parser.add_argument("--fabric-only", action="store_true")
+    parser.add_argument("--datapath-only", action="store_true")
     parser.add_argument("--jobs", type=int, default=4,
                         help="parallel worker count for the experiment suite")
     parser.add_argument("--label", default=None,
@@ -214,11 +218,12 @@ def main(argv=None) -> int:
                              "speedscope artifacts into DIR")
     args = parser.parse_args(argv)
     only_flags = [args.engine_only, args.experiments_only,
-                  args.packetpath_only, args.shard_only, args.fabric_only]
+                  args.packetpath_only, args.shard_only, args.fabric_only,
+                  args.datapath_only]
     if sum(only_flags) > 1:
         parser.error("--engine-only/--experiments-only/--packetpath-only/"
-                     "--shard-only/--fabric-only are mutually exclusive "
-                     "(omit all to run everything)")
+                     "--shard-only/--fabric-only/--datapath-only are "
+                     "mutually exclusive (omit all to run everything)")
 
     if args.profile is not None:
         if args.fabric_only:
@@ -233,16 +238,24 @@ def main(argv=None) -> int:
 
     out_dir = Path(args.out_dir)
     others_only = (args.experiments_only or args.packetpath_only
-                   or args.shard_only or args.fabric_only)
+                   or args.shard_only or args.fabric_only
+                   or args.datapath_only)
     run_engine = not others_only
     run_experiments = not (args.engine_only or args.packetpath_only
-                           or args.shard_only or args.fabric_only)
+                           or args.shard_only or args.fabric_only
+                           or args.datapath_only)
     run_packetpath = not (args.engine_only or args.experiments_only
-                          or args.shard_only or args.fabric_only)
+                          or args.shard_only or args.fabric_only
+                          or args.datapath_only)
     run_shards = not (args.engine_only or args.experiments_only
-                      or args.packetpath_only or args.fabric_only)
+                      or args.packetpath_only or args.fabric_only
+                      or args.datapath_only)
     run_fabric = not (args.engine_only or args.experiments_only
-                      or args.packetpath_only or args.shard_only)
+                      or args.packetpath_only or args.shard_only
+                      or args.datapath_only)
+    run_datapath = not (args.engine_only or args.experiments_only
+                        or args.packetpath_only or args.shard_only
+                        or args.fabric_only)
     ok = True
 
     if run_engine:
@@ -314,6 +327,32 @@ def main(argv=None) -> int:
                   f"rehashes {stats['flowlet_rehashes']})")
         if not (suite["digests_identical"] and suite["conservation_exact"]):
             print("ERROR: fabric determinism or conservation broken",
+                  file=sys.stderr)
+            ok = False
+
+    if run_datapath:
+        suite = run_datapath_suite(quick=args.quick)
+        run = {**_meta(args.label, args.quick), **suite}
+        run = _append_run(out_dir / DATAPATH_FILE, run,
+                          "canonical_packets_per_sec")
+        pps = suite["canonical_packets_per_sec"]
+        speedup = run.get("speedup_vs_first")
+        extra = f"  ({speedup:.2f}x vs baseline)" if speedup else ""
+        improvement = suite["bypass_p99_improvement_pct"]
+        print(f"datapath: {suite['canonical']} = {pps:,.0f} packets/sec"
+              f"{extra} | bypass p99 vs vanilla "
+              f"{-improvement:+.1f}% | digests identical: "
+              f"{suite['digests_identical']} | conservation exact: "
+              f"{suite['conservation_exact']}")
+        for name, stats in suite["workloads"].items():
+            p99_us = (stats["fg_p99_ns"] or 0) / 1_000
+            print(f"  {name:28s} {stats['packets_per_sec']:>12,.0f} pkt/s  "
+                  f"fg p99 {p99_us:.1f}us  "
+                  f"(cpu {stats['cpu_utilization'] * 100:.0f}%)")
+        if not (suite["digests_identical"] and suite["conservation_exact"]
+                and suite["bypass_p99_beats_vanilla"]):
+            print("ERROR: datapath determinism, conservation, or the "
+                  "bypass p99 < vanilla p99 invariant broken",
                   file=sys.stderr)
             ok = False
 

@@ -1,0 +1,191 @@
+"""Datapath benchmark suite — vanilla vs prism-sync vs bypass.
+
+The three receive datapaths the simulator models (interrupt-driven
+vanilla, PRISM-sync inline for high-priority flows, and the busy-polling
+kernel-bypass PMD) are run over the *same* canonical overlay cell — the
+Fig. 11 stress point: 1 Kpps foreground ping-pong under a 300 Kpps
+background flood — and compared on two axes:
+
+- **wall-clock throughput** (simulated packets per real second), the
+  same metric as :mod:`repro.perf.packet_bench`, so ``bench_delta.py``
+  gates it with the existing median + IQR machinery;
+- **simulated foreground p99 latency**, the axis the datapath choice
+  actually moves: bypass removes hardirq delivery, softirq dispatch,
+  per-stage queue waits, and GRO holds, so its p99 must beat vanilla's
+  on this cell (asserted by the datapath-smoke CI job).
+
+Two suite-level determinism booleans ride along (``bench_delta.py``
+fails the job when either records false):
+
+- ``digests_identical`` — every repeat of every workload produced the
+  same result digest, and a fresh rerun of the bypass cell matches too:
+  a datapath that got "faster" by changing the simulation's answer is a
+  correctness bug wearing a perf costume;
+- ``conservation_exact`` — the PacketLedger balances exactly on a
+  loss x mode grid (2 fault plans x 3 modes): every injected packet is
+  delivered, dropped at a named site, or provably in flight, in every
+  datapath.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Tuple
+
+from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.runner import result_digest
+from repro.faults.plan import FaultPlan
+from repro.prism.mode import StackMode
+from repro.sim.units import MS
+
+__all__ = [
+    "DATAPATH_WORKLOADS",
+    "CANONICAL_DATAPATH",
+    "CONSERVATION_SPECS",
+    "datapath_config",
+    "run_datapath_workload",
+    "run_datapath_suite",
+]
+
+#: Background load of the canonical Fig. 11 cell (pps).
+_CANONICAL_BG = 300_000.0
+
+#: name -> stack mode, all on the canonical overlay cell.
+DATAPATH_WORKLOADS: Dict[str, StackMode] = {
+    "overlay_vanilla_bg300k": StackMode.VANILLA,
+    "overlay_prism_sync_bg300k": StackMode.PRISM_SYNC,
+    "overlay_bypass_bg300k": StackMode.BYPASS,
+}
+
+#: The headline workload: the new datapath under the canonical load.
+CANONICAL_DATAPATH = "overlay_bypass_bg300k"
+
+#: Fault plans of the conservation grid (x every mode = 6 cells).
+CONSERVATION_SPECS: Tuple[str, ...] = (
+    "loss:eth:0.05; retries=5; timeout=2ms",
+    "loss:wire:0.03; flap@10ms+2ms; retries=5; timeout=2ms",
+)
+
+
+def datapath_config(name: str, *, quick: bool = False,
+                    seed: int = 1) -> ExperimentConfig:
+    """The frozen experiment config behind one datapath workload."""
+    mode = DATAPATH_WORKLOADS[name]
+    if quick:
+        duration, warmup = 25 * MS, 5 * MS
+    else:
+        duration, warmup = 150 * MS, 30 * MS
+    return ExperimentConfig(mode=mode, network="overlay", fg_rate_pps=1_000,
+                            bg_rate_pps=_CANONICAL_BG, duration_ns=duration,
+                            warmup_ns=warmup, seed=seed)
+
+
+def _count_packets(result) -> int:
+    """Simulated packets attributable to this run (a pure config function)."""
+    window = result.config.duration_ns
+    delivered = round(
+        (result.fg_delivered_pps + result.bg_delivered_pps) * window / 1e9)
+    return delivered + result.fg_sent
+
+
+def run_datapath_workload(name: str, *, quick: bool = False,
+                          repeats: int = 3) -> Dict[str, object]:
+    """Run one datapath workload *repeats* times (plus a warm-up).
+
+    Same best-run protocol as the packet suite; additionally records the
+    foreground p99 and the packet-core utilization (bypass burns the
+    core, so its utilization must read ~1.0), and whether every repeat
+    digested identically.
+    """
+    config = datapath_config(name, quick=quick)
+    warm_result = run_experiment(datapath_config(name, quick=True))
+    del warm_result
+    best_seconds = float("inf")
+    packets = 0
+    samples: List[float] = []
+    digests: List[str] = []
+    result = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = run_experiment(config)
+        seconds = time.perf_counter() - started
+        best_seconds = min(best_seconds, seconds)
+        packets = _count_packets(result)
+        digests.append(result_digest(result))
+        samples.append(packets / seconds)
+    latency = result.fg_latency
+    return {
+        "packets": float(packets),
+        "seconds": best_seconds,
+        "packets_per_sec": packets / best_seconds,
+        "packets_per_sec_samples": samples,
+        "digest": digests[-1],
+        "repeat_digests_identical": len(set(digests)) == 1,
+        "fg_p99_ns": latency.p99_ns if latency is not None else None,
+        "fg_p50_ns": latency.p50_ns if latency is not None else None,
+        "cpu_utilization": result.cpu_utilization,
+    }
+
+
+def _check_conservation(*, quick: bool) -> Tuple[bool, List[Dict[str, object]]]:
+    """Run the loss x mode grid; exact means every cell balances."""
+    cells: List[Dict[str, object]] = []
+    exact = True
+    for spec in CONSERVATION_SPECS:
+        plan = FaultPlan.parse(spec)
+        for name in DATAPATH_WORKLOADS:
+            config = dataclasses.replace(
+                datapath_config(name, quick=True), faults=plan)
+            result = run_experiment(config)
+            conservation = result.conservation or {}
+            balanced = bool(conservation.get("balanced"))
+            exact = exact and balanced
+            cells.append({
+                "workload": name,
+                "spec": spec,
+                "balanced": balanced,
+                "injected": conservation.get("injected"),
+                "delivered": conservation.get("delivered"),
+                "dropped": conservation.get("dropped"),
+            })
+    return exact, cells
+
+
+def run_datapath_suite(*, quick: bool = False,
+                       repeats: int = 3) -> Dict[str, object]:
+    """Run every datapath workload plus the conservation grid."""
+    workloads: Dict[str, Dict[str, object]] = {}
+    for name in DATAPATH_WORKLOADS:
+        workloads[name] = run_datapath_workload(name, quick=quick,
+                                                repeats=repeats)
+    # Fresh rerun of the canonical (bypass) cell: same config, same
+    # digest — the determinism tripwire the smoke job relies on.
+    rerun = run_experiment(datapath_config(CANONICAL_DATAPATH, quick=quick))
+    rerun_identical = (result_digest(rerun)
+                      == workloads[CANONICAL_DATAPATH]["digest"])
+    digests_identical = rerun_identical and all(
+        w["repeat_digests_identical"] for w in workloads.values())
+    conservation_exact, grid = _check_conservation(quick=quick)
+    vanilla_p99 = workloads["overlay_vanilla_bg300k"]["fg_p99_ns"]
+    bypass_p99 = workloads[CANONICAL_DATAPATH]["fg_p99_ns"]
+    improvement = None
+    if vanilla_p99 and bypass_p99:
+        improvement = (1.0 - bypass_p99 / vanilla_p99) * 100.0
+    return {
+        "canonical": CANONICAL_DATAPATH,
+        "canonical_packets_per_sec":
+            workloads[CANONICAL_DATAPATH]["packets_per_sec"],
+        "canonical_packets_per_sec_samples":
+            workloads[CANONICAL_DATAPATH]["packets_per_sec_samples"],
+        "bypass_p99_ns": bypass_p99,
+        "vanilla_p99_ns": vanilla_p99,
+        "bypass_p99_improvement_pct": improvement,
+        "bypass_p99_beats_vanilla": bool(
+            bypass_p99 is not None and vanilla_p99 is not None
+            and bypass_p99 < vanilla_p99),
+        "digests_identical": digests_identical,
+        "conservation_exact": conservation_exact,
+        "conservation_grid": grid,
+        "workloads": workloads,
+    }

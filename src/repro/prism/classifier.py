@@ -50,7 +50,9 @@ class PriorityClassifier:
         Idempotent per skb (the paper adds the bit to ``sk_buff``
         precisely to avoid re-computation).
         """
-        if mode is StackMode.VANILLA:
+        if mode is StackMode.VANILLA or mode is StackMode.BYPASS:
+            # Unpatched kernel / poll-mode driver: every packet takes
+            # the same path, so classification is pure overhead.
             return 0
         if skb.priority_level is not None:
             return 0

@@ -11,6 +11,14 @@ The paper evaluates three configurations of the receive path:
 - **PRISM_SYNC** — as PRISM_BATCH, but high-priority packets are processed
   run-to-completion through all stages within a single softirq, bypassing
   the per-stage queues entirely (§III-B1).
+
+A fourth datapath sits outside the paper's evaluation but inside the
+container-datapath design space it motivates:
+
+- **BYPASS** — AF_XDP/DPDK-style kernel bypass: a dedicated CPU busy-polls
+  the physical rx ring and runs *every* packet run-to-completion, with no
+  interrupt, no softirq dispatch, and no per-stage queues.  The polling
+  CPU never idles, so it never enters a C-state (Fig. 11's power axis).
 """
 
 from __future__ import annotations
@@ -19,6 +27,16 @@ import enum
 
 __all__ = ["StackMode"]
 
+#: Accepted shorthand spellings for :meth:`StackMode.parse`.
+_ALIASES = {
+    "batch": "prism-batch",
+    "sync": "prism-sync",
+    "prism": "prism-sync",
+    "pmd": "bypass",
+    "busy-poll": "bypass",
+    "af-xdp": "bypass",
+}
+
 
 class StackMode(enum.Enum):
     """Receive-path configuration."""
@@ -26,25 +44,30 @@ class StackMode(enum.Enum):
     VANILLA = "vanilla"
     PRISM_BATCH = "prism-batch"
     PRISM_SYNC = "prism-sync"
+    BYPASS = "bypass"
 
     @property
     def is_prism(self) -> bool:
-        """True for either PRISM mode."""
-        return self is not StackMode.VANILLA
+        """True for either PRISM mode (bypass is neither vanilla nor PRISM)."""
+        return self in (StackMode.PRISM_BATCH, StackMode.PRISM_SYNC)
+
+    @property
+    def is_bypass(self) -> bool:
+        """True for the busy-polling kernel-bypass datapath."""
+        return self is StackMode.BYPASS
 
     @classmethod
     def parse(cls, text: str) -> "StackMode":
         """Parse a mode name as used on the bench command line / procfs."""
         normalized = text.strip().lower().replace("_", "-")
+        normalized = _ALIASES.get(normalized, normalized)
         for mode in cls:
             if mode.value == normalized:
                 return mode
-        aliases = {"batch": cls.PRISM_BATCH, "sync": cls.PRISM_SYNC,
-                   "prism": cls.PRISM_SYNC}
-        if normalized in aliases:
-            return aliases[normalized]
-        raise ValueError(f"unknown stack mode {text!r}; "
-                         f"expected one of {[m.value for m in cls]}")
+        raise ValueError(
+            f"unknown stack mode {text!r}; "
+            f"expected one of {[m.value for m in cls]} "
+            f"or an alias in {sorted(_ALIASES)}")
 
     def __str__(self) -> str:
         return self.value

@@ -39,6 +39,15 @@ def transition_to_napi(kernel: "Kernel", skb: SKBuff, napi: "NapiStruct"
     """
     mode = kernel.mode
 
+    if mode is StackMode.BYPASS:
+        # Kernel bypass: *every* packet runs to completion inside the
+        # poll-mode driver's loop.  Stage hand-off is a plain function
+        # call — cheaper than the sync path's softirq-context inline
+        # call (no softirq frame, stage code hot in the I-cache).
+        yield kernel.costs.bypass_stage_overhead_ns
+        yield from napi.process_inline(skb)
+        return
+
     if mode is StackMode.PRISM_SYNC and kernel.is_high_class(skb):
         # Run-to-completion: the packet never enters a queue; the next
         # stage executes immediately in this softirq (§III-B1).

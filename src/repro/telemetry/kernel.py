@@ -109,6 +109,14 @@ class KernelTelemetry:
         self._q_cleared = reg.counter(
             "repro_queue_cleared", "Items discarded by explicit clear()",
             ("queue",))
+        self._mod_window = reg.gauge(
+            "repro_irq_moderation_window_ns",
+            "Rx-interrupt coalescing window at collection time "
+            "(0 = immediate interrupts)", ("device",))
+        self._pmd_stats = reg.counter(
+            "repro_pmd_events",
+            "Poll-mode-driver activity (BYPASS datapath only)",
+            ("device", "kind"))
 
         # --- fault-injection / loss-recovery families -----------------
         # Scraped from ``kernel.faults`` (the installed FaultInjector)
@@ -318,6 +326,17 @@ class KernelTelemetry:
                 device.rx_packets)
             self._dev_rx_bytes.labels(device.name).set_total(
                 device.rx_bytes)
+            window = getattr(device, "moderation_window_ns", None)
+            if window is not None:
+                self._mod_window.labels(device.name).set(window)
+            pmd = getattr(device, "_pmd", None)
+            if pmd is not None:
+                self._pmd_stats.labels(device.name, "batches").set_total(
+                    pmd.batches)
+                self._pmd_stats.labels(device.name, "packets").set_total(
+                    pmd.packets)
+                self._pmd_stats.labels(device.name, "idle_spins").set_total(
+                    pmd.idle_spins)
         for bridge in self._watched_bridges:
             self._bridge_forwarded.labels(bridge.name).set_total(
                 bridge.forwarded)

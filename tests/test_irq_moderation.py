@@ -1,0 +1,193 @@
+"""Interrupt moderation: fixed window edges, the adaptive (DIM-style)
+moderator, and the stale moderation-timer regression.
+
+The stale-timer bug: ``_maybe_interrupt`` arms a one-shot timer at
+``_last_irq_at + window`` when an arrival lands inside the window, but
+``_fire_irq`` used to leave that timer pending when a *different* path
+(window shrink, napi-complete recheck) fired the interrupt first — the
+orphan then fired an extra, unmoderated interrupt after napi-complete
+(or leaked into engine teardown when the ring had been flushed).
+"""
+
+import pytest
+
+from repro.bench.experiment import ExperimentConfig, run_experiment
+from repro.bench.testbed import build_testbed
+from repro.faults.plan import FaultPlan
+from repro.kernel.config import KernelConfig
+from repro.packet.addr import Ipv4Address, MacAddress
+from repro.sim.units import MS, US
+from repro.stack.egress import build_udp_packet
+
+WINDOW = 45_000  # costs.irq_rate_limit_ns, the fixed moderation window
+
+
+def plain_packet(payload_len=64, dport=7000):
+    return build_udp_packet(
+        src_mac=MacAddress(0x10), dst_mac=MacAddress(0x20),
+        src_ip=Ipv4Address("192.168.1.2"), dst_ip=Ipv4Address("192.168.1.1"),
+        src_port=30001, dst_port=dport, payload=None,
+        payload_len=payload_len)
+
+
+def setup(config=None):
+    testbed = build_testbed(config=config)
+    testbed.server.udp_socket(7000, core_id=1)
+    return testbed, testbed.server.nic, testbed.server.kernel.cpu(0)
+
+
+class TestWindowEdge:
+    def test_arrival_exactly_at_window_edge_fires_immediately(self):
+        testbed, nic, cpu = setup()
+        nic.receive(plain_packet())          # irq at t=0
+        testbed.sim.run(until=WINDOW - US)   # napi completes, irq re-armed
+        assert cpu.stats.hardirqs == 1
+        testbed.sim.schedule_at(WINDOW, nic.receive, plain_packet())
+        testbed.sim.run(until=WINDOW + 1)
+        # now - _last_irq_at == window counts as *outside* the window.
+        assert cpu.stats.hardirqs == 2
+        assert nic._irq_timer is None
+
+    def test_arrival_one_ns_inside_window_defers_to_the_edge(self):
+        testbed, nic, cpu = setup()
+        nic.receive(plain_packet())
+        testbed.sim.run(until=WINDOW - 2 * US)
+        testbed.sim.schedule_at(WINDOW - US, nic.receive, plain_packet())
+        testbed.sim.run(until=WINDOW - US // 2)
+        assert cpu.stats.hardirqs == 1       # deferred
+        assert nic._irq_timer is not None    # timer aimed at the edge
+        testbed.sim.run(until=WINDOW + US)
+        assert cpu.stats.hardirqs == 2       # fired at _last_irq_at + window
+
+    def test_moderation_off_interrupts_every_arrival(self):
+        testbed, nic, cpu = setup(KernelConfig(irq_moderation="off"))
+        assert nic.moderation_window_ns == 0
+        nic.receive(plain_packet())
+        testbed.sim.run(until=5 * US + WINDOW // 2)
+        # Well inside what the fixed window would moderate:
+        nic.receive(plain_packet())
+        assert cpu.stats.hardirqs == 2
+
+
+class _FakeFaults:
+    """Minimal injector stub: loses the first *n* interrupts, nothing else."""
+
+    def __init__(self, lose_first=1):
+        self._to_lose = lose_first
+
+    def irq_lost(self):
+        if self._to_lose > 0:
+            self._to_lose -= 1
+            return True
+        return False
+
+    def drop_at_queue(self, name):
+        return False
+
+    def skb_alloc_fails(self):
+        return False
+
+
+class TestIrqLossRearm:
+    def test_lost_irq_redelivered_by_moderation_timer(self):
+        testbed, nic, cpu = setup()
+        testbed.server.kernel.faults = _FakeFaults(lose_first=1)
+        nic.receive(plain_packet())          # irq lost in "hardware"
+        assert cpu.stats.hardirqs == 0
+        assert nic.irq_enabled               # never masked
+        assert len(nic.ring) == 1            # packet preserved
+        # A second arrival inside the window arms the moderation timer,
+        # which re-triggers delivery at the window edge.
+        testbed.sim.schedule_at(1_000, nic.receive, plain_packet())
+        testbed.sim.run(until=WINDOW + 5 * MS)
+        assert cpu.stats.hardirqs == 1
+        assert len(nic.ring) == 0           # both packets drained
+
+
+class TestStaleTimer:
+    def test_fire_while_timer_pending_cancels_it(self):
+        # Reproduce the orphan directly: arm the timer, then shrink the
+        # window to zero (what the adaptive moderator can do between
+        # arming and firing) so the next arrival fires immediately.
+        testbed, nic, cpu = setup()
+        nic.receive(plain_packet())
+        testbed.sim.run(until=WINDOW - 2 * US)
+        testbed.sim.schedule_at(WINDOW - US, nic.receive, plain_packet())
+        testbed.sim.run(until=WINDOW - US // 2)
+        assert nic._irq_timer is not None
+        nic._mod_window = 0
+        nic.receive(plain_packet())          # fires now, timer pending
+        assert cpu.stats.hardirqs == 2
+        assert nic._irq_timer is None        # regression: orphan cancelled
+        testbed.sim.run(until=WINDOW + 5 * MS)
+        assert cpu.stats.hardirqs == 2       # and it never fires later
+
+    def test_flap_flush_cancels_pending_timer(self):
+        # A device-reset flap (flap@...+...!) clears the rings; a timer
+        # left aimed at the empty NIC would leak into teardown.
+        plan = FaultPlan.parse("flap@1ms+500us!; retries=3; timeout=2ms")
+        config = ExperimentConfig(
+            network="overlay", fg_rate_pps=1_000, bg_rate_pps=200_000.0,
+            duration_ns=8 * MS, warmup_ns=2 * MS, faults=plan)
+        result = run_experiment(config)
+        assert result.conservation["balanced"]
+
+    def test_adaptive_run_with_flap_flush_conserves(self):
+        plan = FaultPlan.parse("flap@1ms+500us!; retries=3; timeout=2ms")
+        config = ExperimentConfig(
+            network="overlay", fg_rate_pps=1_000, bg_rate_pps=200_000.0,
+            duration_ns=8 * MS, warmup_ns=2 * MS, faults=plan,
+            kernel_config=KernelConfig(irq_moderation="adaptive"))
+        result = run_experiment(config)
+        assert result.conservation["balanced"]
+
+
+class TestAdaptiveModeration:
+    EPOCH = 500_000  # costs.irq_mod_epoch_ns
+
+    def _feed(self, testbed, nic, *, interval_ns, count, start=0):
+        for i in range(count):
+            testbed.sim.schedule_at(start + i * interval_ns,
+                                    nic.receive, plain_packet())
+        testbed.sim.run(until=start + count * interval_ns + 1 * MS)
+
+    def test_window_grows_to_max_under_load(self):
+        testbed, nic, cpu = setup(KernelConfig(irq_moderation="adaptive"))
+        assert nic.moderation_window_ns == WINDOW  # seeded from the fixed value
+        # 500 Kpps for 3 epochs: well above irq_mod_up_pps (150 Kpps).
+        self._feed(testbed, nic, interval_ns=2_000, count=750)
+        costs = testbed.server.kernel.costs
+        assert nic.moderation_window_ns == costs.irq_mod_max_ns
+
+    def test_window_shrinks_to_min_after_rate_step(self):
+        testbed, nic, cpu = setup(KernelConfig(irq_moderation="adaptive"))
+        costs = testbed.server.kernel.costs
+        # Step 1: drive the window to the ceiling.
+        self._feed(testbed, nic, interval_ns=2_000, count=750)
+        assert nic.moderation_window_ns == costs.irq_mod_max_ns
+        # Step 2: collapse to 10 Kpps (below irq_mod_down_pps, 50 Kpps)
+        # long enough for log2(max/min) halvings.
+        self._feed(testbed, nic, interval_ns=100_000, count=60,
+                   start=testbed.sim.now)
+        assert nic.moderation_window_ns == costs.irq_mod_min_ns
+
+    def test_mid_band_rate_holds_the_window(self):
+        testbed, nic, cpu = setup(KernelConfig(irq_moderation="adaptive"))
+        # 100 Kpps sits between down (50K) and up (150K): no movement.
+        self._feed(testbed, nic, interval_ns=10_000, count=200)
+        assert nic.moderation_window_ns == WINDOW
+
+    def test_fixed_mode_window_is_static(self):
+        testbed, nic, cpu = setup()
+        self._feed(testbed, nic, interval_ns=2_000, count=750)
+        assert nic.moderation_window_ns == WINDOW
+
+
+class TestKernelConfigValidation:
+    @pytest.mark.parametrize("value", ["fixed", "adaptive", "off"])
+    def test_valid_values_accepted(self, value):
+        assert KernelConfig(irq_moderation=value).irq_moderation == value
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(ValueError, match="irq_moderation"):
+            KernelConfig(irq_moderation="dynamic")

@@ -118,3 +118,26 @@ class TestFatTree:
         for host in spec.hosts:
             assert len(host.containers) == 3
             assert len({c.ip for c in host.containers}) == 3
+
+    def test_small_trees_keep_historical_container_ips(self):
+        # The second-octet spread (10.<i//250>.<i%250>.x) must be a
+        # no-op below 250 hosts: every k<=12 placement — and therefore
+        # every pinned digest built on one — stays byte-identical.
+        spec = Topology.fat_tree(4)
+        for host in spec.hosts:
+            assert host.containers[0].ip == f"10.0.{host.id}.10"
+            assert host.containers[1].ip == f"10.0.{host.id}.11"
+
+    def test_host_250_rolls_into_the_second_octet(self):
+        spec = Topology.fat_tree(14, hosts=252)  # k=14 holds 686
+        by_index = {h.id: h for h in spec.hosts}
+        assert by_index[249].containers[0].ip == "10.0.249.10"
+        assert by_index[250].containers[0].ip == "10.1.0.10"
+        assert by_index[251].containers[0].ip == "10.1.1.10"
+        # No collisions anywhere.
+        ips = [c.ip for h in spec.hosts for c in h.containers]
+        assert len(ips) == len(set(ips))
+
+    def test_ip_scheme_cap_is_62500(self):
+        with pytest.raises(ValueError, match="62500"):
+            Topology.fat_tree(64, hosts=62_501)
